@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseWords(t *testing.T) {
+	got, err := parseWords("0x1,2,deadbeef,0", [4]uint32{9, 9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != [4]uint32{1, 2, 0xDEADBEEF, 0} {
+		t.Fatalf("parseWords = %08x", got)
+	}
+	def := [4]uint32{7, 7, 7, 7}
+	got, err = parseWords("", def)
+	if err != nil || got != def {
+		t.Fatal("empty string should yield the default")
+	}
+	if _, err := parseWords("1,2,3", def); err == nil {
+		t.Fatal("accepted 3 words")
+	}
+	if _, err := parseWords("1,2,3,zz", def); err == nil {
+		t.Fatal("accepted non-hex word")
+	}
+}
+
+func TestSynthFindInspectExtractFlow(t *testing.T) {
+	dir := t.TempDir()
+	bit := filepath.Join(dir, "dut.bit")
+	if err := cmdSynth([]string{"-o", bit}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(bit); err != nil || fi.Size() < 10000 {
+		t.Fatalf("synth output missing or too small: %v", err)
+	}
+	if err := cmdFindLUT([]string{"-bits", bit, "-f", "(a1^a2^a3)a4a5!a6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect([]string{"-bits", bit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExtract([]string{"-bits", bit, "-census"}); err != nil {
+		t.Fatal(err)
+	}
+	vcd := filepath.Join(dir, "dut.vcd")
+	if err := cmdTrace([]string{"-o", vcd, "-n", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(vcd); err != nil || fi.Size() == 0 {
+		t.Fatal("trace produced no waveform")
+	}
+}
+
+func TestCmdKeystreamAndComplexity(t *testing.T) {
+	if err := cmdKeystream([]string{"-n", "2", "-stuck-init", "-zero-lfsr"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdComplexity([]string{"-m", "32", "-bits", "128"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdFindLUT([]string{}); err == nil {
+		t.Fatal("findlut without -bits should fail")
+	}
+	if err := cmdInspect([]string{}); err == nil {
+		t.Fatal("inspect without -bits should fail")
+	}
+	if err := cmdExtract([]string{}); err == nil {
+		t.Fatal("extract without -bits should fail")
+	}
+	if err := cmdFindLUT([]string{"-bits", "/nonexistent"}); err == nil {
+		t.Fatal("findlut on missing file should fail")
+	}
+}
+
+func TestCmdAttackEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack CLI test skipped in -short mode")
+	}
+	if err := cmdAttack([]string{}); err != nil {
+		t.Fatalf("attack command failed: %v", err)
+	}
+}
+
+func TestCmdRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repro runner skipped in -short mode")
+	}
+	if err := cmdRepro(nil); err != nil {
+		t.Fatalf("repro runner failed: %v", err)
+	}
+}
+
+func TestCmdVerifyAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.bit")
+	b := filepath.Join(dir, "b.bit")
+	if err := cmdSynth([]string{"-o", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSynth([]string{"-o", b, "-key", "1,2,3,4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-bits", a, "-ivs", "2", "-n", "4"}); err != nil {
+		t.Fatalf("verify of a healthy bitstream failed: %v", err)
+	}
+	// Wrong key must fail verification.
+	if err := cmdVerify([]string{"-bits", b, "-ivs", "1", "-n", "2"}); err == nil {
+		t.Fatal("verify accepted a device keyed differently from the model")
+	}
+	if err := cmdDiff([]string{"-a", a, "-b", b}); err != nil {
+		t.Fatalf("diff failed: %v", err)
+	}
+	if err := cmdCensus([]string{"-bits", a, "-min", "16"}); err != nil {
+		t.Fatalf("census failed: %v", err)
+	}
+}
+
+func TestCmdExport(t *testing.T) {
+	dir := t.TempDir()
+	blif := filepath.Join(dir, "d.blif")
+	st := filepath.Join(dir, "d.netlist")
+	if err := cmdExport([]string{"-blif", blif, "-structural", st}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{blif, st} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Fatalf("export output %s missing", f)
+		}
+	}
+	if err := cmdExport(nil); err == nil {
+		t.Fatal("export with no outputs accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package snowbma_test
+
+import (
+	"fmt"
+
+	"snowbma"
+)
+
+// The software model reproduces the ETSI SNOW 3G test-set keystream for
+// the paper's key and IV.
+func ExampleKeystream() {
+	z := snowbma.Keystream(snowbma.PaperKey, snowbma.PaperIV, 2)
+	fmt.Printf("%08x %08x\n", z[0], z[1])
+	// Output: abee9704 7ac31373
+}
+
+// With the FSM output stuck at 0 (the injected fault), the keystream is
+// the raw LFSR state and the paper's Table IV appears verbatim.
+func ExampleFaultyKeystream() {
+	z := snowbma.FaultyKeystream(snowbma.PaperKey, snowbma.PaperIV, true, true, false, 3)
+	fmt.Printf("%08x %08x %08x\n", z[0], z[1], z[2])
+	// Output: 3ffe4851 35d1c393 5914acef
+}
+
+// Sixteen faulty keystream words rewind to the key (paper Table V).
+func ExampleRecoverKey() {
+	z := snowbma.FaultyKeystream(snowbma.PaperKey, snowbma.PaperIV, true, true, false, 16)
+	key, iv, err := snowbma.RecoverKey(z)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("key %08x %08x %08x %08x\n", key[0], key[1], key[2], key[3])
+	fmt.Printf("iv  %08x %08x %08x %08x\n", iv[0], iv[1], iv[2], iv[3])
+	// Output:
+	// key 2bd6459f 82c5b300 952c4910 4881ff48
+	// iv  ea024714 ad5c4d84 df1f9b25 1c0bf45f
+}
+
+// The key-independent keystream (fault β) is identical for every key —
+// the paper's Table III.
+func ExampleFaultyKeystream_keyIndependent() {
+	anyKey := snowbma.Key{0xDEAD, 0xBEEF, 0xCAFE, 0xF00D}
+	z := snowbma.FaultyKeystream(anyKey, snowbma.PaperIV, true, false, true, 2)
+	fmt.Printf("%08x %08x\n", z[0], z[1])
+	// Output: a1fb4788 e4382f8e
+}
+
+// Lemma VII-A: five decoy words per target word reach 2^128.
+func ExampleMinDecoyRatio() {
+	fmt.Println(snowbma.MinDecoyRatio(32, 128))
+	// Output: 5
+}
+
+// Section VII-C: selecting the 32 real targets among 171 candidates.
+func ExampleSearchEffortBits() {
+	fmt.Printf("2^%.0f\n", snowbma.SearchEffortBits(32, 171-32))
+	// Output: 2^115
+}
+
+// UEA2 encryption is an involution under the same parameters.
+func ExampleUEA2Encrypt() {
+	ck := snowbma.CipherKeyToBytes(snowbma.PaperKey)
+	msg := []byte("sample frame")
+	snowbma.UEA2Encrypt(ck, 7, 3, 0, msg)
+	snowbma.UEA2Encrypt(ck, 7, 3, 0, msg)
+	fmt.Println(string(msg))
+	// Output: sample frame
+}

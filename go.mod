@@ -1,0 +1,3 @@
+module snowbma
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package bdd implements reduced ordered binary decision diagrams with a
+// unique table and computed-table caching — the standard canonical form
+// for Boolean functions in formal verification. The mapper uses it to
+// prove (not sample) that a technology-mapped LUT network computes the
+// same function as the source netlist at every visible net.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ref is a node reference. The constants False and True are terminals.
+type Ref int32
+
+// Terminal references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable level; terminals use a sentinel
+	lo, hi Ref
+}
+
+type uniqueKey struct {
+	level  int32
+	lo, hi Ref
+}
+
+type opKey struct {
+	op   uint8
+	a, b Ref
+}
+
+const (
+	opAnd uint8 = iota
+	opXor
+)
+
+// ErrNodeLimit is returned when a build exceeds the manager's node cap.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+// Manager owns the node store. Variables are identified by their level:
+// lower levels are tested first.
+type Manager struct {
+	nodes  []node
+	unique map[uniqueKey]Ref
+	cache  map[opKey]Ref
+	limit  int
+}
+
+const terminalLevel = int32(1) << 30
+
+// New creates a manager bounded to limit nodes (0 means a 4M default).
+func New(limit int) *Manager {
+	if limit <= 0 {
+		limit = 4 << 20
+	}
+	m := &Manager{
+		nodes:  make([]node, 2, 1024),
+		unique: make(map[uniqueKey]Ref),
+		cache:  make(map[opKey]Ref),
+		limit:  limit,
+	}
+	m.nodes[False] = node{level: terminalLevel}
+	m.nodes[True] = node{level: terminalLevel}
+	return m
+}
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rule lo == hi.
+func (m *Manager) mk(level int32, lo, hi Ref) (Ref, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	k := uniqueKey{level, lo, hi}
+	if r, ok := m.unique[k]; ok {
+		return r, nil
+	}
+	if len(m.nodes) >= m.limit {
+		return False, ErrNodeLimit
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[k] = r
+	return r, nil
+}
+
+// Var returns the BDD of the variable at the given level.
+func (m *Manager) Var(level int) (Ref, error) {
+	if level < 0 || int32(level) >= terminalLevel {
+		return False, fmt.Errorf("bdd: bad variable level %d", level)
+	}
+	return m.mk(int32(level), False, True)
+}
+
+// Const returns a terminal.
+func (m *Manager) Const(b bool) Ref {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Not complements f. Without complement edges this is Xor with True.
+func (m *Manager) Not(f Ref) (Ref, error) { return m.Xor(f, True) }
+
+// And computes f ∧ g.
+func (m *Manager) And(f, g Ref) (Ref, error) {
+	switch {
+	case f == False || g == False:
+		return False, nil
+	case f == True:
+		return g, nil
+	case g == True:
+		return f, nil
+	case f == g:
+		return f, nil
+	}
+	if f > g {
+		f, g = g, f
+	}
+	k := opKey{opAnd, f, g}
+	if r, ok := m.cache[k]; ok {
+		return r, nil
+	}
+	lvl, fl, fh, gl, gh := m.split(f, g)
+	lo, err := m.And(fl, gl)
+	if err != nil {
+		return False, err
+	}
+	hi, err := m.And(fh, gh)
+	if err != nil {
+		return False, err
+	}
+	r, err := m.mk(lvl, lo, hi)
+	if err != nil {
+		return False, err
+	}
+	m.cache[k] = r
+	return r, nil
+}
+
+// Or computes f ∨ g via De Morgan.
+func (m *Manager) Or(f, g Ref) (Ref, error) {
+	nf, err := m.Not(f)
+	if err != nil {
+		return False, err
+	}
+	ng, err := m.Not(g)
+	if err != nil {
+		return False, err
+	}
+	a, err := m.And(nf, ng)
+	if err != nil {
+		return False, err
+	}
+	return m.Not(a)
+}
+
+// Xor computes f ⊕ g.
+func (m *Manager) Xor(f, g Ref) (Ref, error) {
+	switch {
+	case f == False:
+		return g, nil
+	case g == False:
+		return f, nil
+	case f == g:
+		return False, nil
+	case f == True && g == True:
+		return False, nil
+	}
+	if f > g {
+		f, g = g, f
+	}
+	k := opKey{opXor, f, g}
+	if r, ok := m.cache[k]; ok {
+		return r, nil
+	}
+	lvl, fl, fh, gl, gh := m.split(f, g)
+	lo, err := m.Xor(fl, gl)
+	if err != nil {
+		return False, err
+	}
+	hi, err := m.Xor(fh, gh)
+	if err != nil {
+		return False, err
+	}
+	r, err := m.mk(lvl, lo, hi)
+	if err != nil {
+		return False, err
+	}
+	m.cache[k] = r
+	return r, nil
+}
+
+// Ite computes if-then-else(s, t, e).
+func (m *Manager) Ite(s, t, e Ref) (Ref, error) {
+	st, err := m.And(s, t)
+	if err != nil {
+		return False, err
+	}
+	ns, err := m.Not(s)
+	if err != nil {
+		return False, err
+	}
+	se, err := m.And(ns, e)
+	if err != nil {
+		return False, err
+	}
+	return m.Or(st, se)
+}
+
+// split aligns two nodes on the top level and returns their cofactors.
+func (m *Manager) split(f, g Ref) (lvl int32, fl, fh, gl, gh Ref) {
+	nf, ng := m.nodes[f], m.nodes[g]
+	lvl = nf.level
+	if ng.level < lvl {
+		lvl = ng.level
+	}
+	fl, fh = f, f
+	if nf.level == lvl {
+		fl, fh = nf.lo, nf.hi
+	}
+	gl, gh = g, g
+	if ng.level == lvl {
+		gl, gh = ng.lo, ng.hi
+	}
+	return
+}
+
+// Eval evaluates f under an assignment (indexed by level).
+func (m *Manager) Eval(f Ref, assign func(level int) bool) bool {
+	for f != False && f != True {
+		n := m.nodes[f]
+		if assign(int(n.level)) {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCountBounded returns the number of satisfying assignments over
+// nVars variables (as float64; exact for small counts).
+func (m *Manager) SatCountBounded(f Ref, nVars int) float64 {
+	memo := map[Ref]float64{}
+	var count func(r Ref, level int32) float64
+	count = func(r Ref, level int32) float64 {
+		if r == False {
+			return 0
+		}
+		n := m.nodes[r]
+		top := n.level
+		if r == True {
+			top = int32(nVars)
+		}
+		scale := 1.0
+		for i := level; i < top; i++ {
+			scale *= 2
+		}
+		if r == True {
+			return scale
+		}
+		if v, ok := memo[r]; ok {
+			return scale * v
+		}
+		v := count(n.lo, n.level+1) + count(n.hi, n.level+1)
+		memo[r] = v
+		return scale * v
+	}
+	return count(f, 0)
+}

@@ -1,0 +1,125 @@
+package bitstream
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// Fig. 1 of the paper: 7-series authenticated bitstreams use
+// MAC-then-encrypt. The bitstream body is authenticated with an HMAC
+// whose key K_A is stored *inside the encrypted region, in two places,
+// in plaintext*; the result is encrypted with K_E (held on-chip, but
+// extractable by published side-channel attacks). This file implements
+// that envelope: Seal produces an encrypted image, Open recovers the
+// plain packets and — exactly as the attack does — the authentication
+// key, which suffices to re-authenticate a modified body.
+
+// KeySize is the AES-256 / HMAC-SHA256 key size in bytes.
+const KeySize = 32
+
+const (
+	encMagic = 0x53424D45 // "SBME"
+	hmacSize = 32
+)
+
+// Seal wraps plain bitstream packets in the MAC-then-encrypt envelope:
+//
+//	magic || CBC-IV || AES-256-CBC_{K_E}( K_A || packets || K_A || HMAC_{K_A}(packets) )
+//
+// The encrypted region corresponds to the blue area of Fig. 1. cbcIV is
+// a fixed public parameter of the image (16 bytes).
+func Seal(packets []byte, kE, kA [KeySize]byte, cbcIV [16]byte) ([]byte, error) {
+	mac := hmac.New(sha256.New, kA[:])
+	mac.Write(packets)
+	tag := mac.Sum(nil)
+
+	var body bytes.Buffer
+	body.Write(kA[:])
+	var lenWord [4]byte
+	binary.BigEndian.PutUint32(lenWord[:], uint32(len(packets)))
+	body.Write(lenWord[:])
+	body.Write(packets)
+	body.Write(kA[:])
+	body.Write(tag)
+	// PKCS#7 pad to the AES block size.
+	pad := aes.BlockSize - body.Len()%aes.BlockSize
+	for i := 0; i < pad; i++ {
+		body.WriteByte(byte(pad))
+	}
+
+	block, err := aes.NewCipher(kE[:])
+	if err != nil {
+		return nil, err
+	}
+	ct := make([]byte, body.Len())
+	cipher.NewCBCEncrypter(block, cbcIV[:]).CryptBlocks(ct, body.Bytes())
+
+	out := make([]byte, 0, 4+16+len(ct))
+	var magic [4]byte
+	binary.BigEndian.PutUint32(magic[:], encMagic)
+	out = append(out, magic[:]...)
+	out = append(out, cbcIV[:]...)
+	out = append(out, ct...)
+	return out, nil
+}
+
+// IsEncrypted reports whether b carries the encrypted envelope.
+func IsEncrypted(b []byte) bool {
+	return len(b) >= 4 && binary.BigEndian.Uint32(b) == encMagic
+}
+
+// Open decrypts an encrypted image with K_E and returns the plain
+// packets, the recovered authentication key K_A (stored in plaintext
+// inside the envelope — the paper's Fig. 1 observation), and the HMAC
+// validity. Invalid HMAC still returns the content: the attacker wants
+// K_A regardless, while the device rejects (BOOTSTS error).
+func Open(b []byte, kE [KeySize]byte) (packets []byte, kA [KeySize]byte, macOK bool, err error) {
+	if !IsEncrypted(b) {
+		return nil, kA, false, errors.New("bitstream: not an encrypted image")
+	}
+	if (len(b)-20)%aes.BlockSize != 0 || len(b) < 20+aes.BlockSize {
+		return nil, kA, false, errors.New("bitstream: malformed encrypted image")
+	}
+	var cbcIV [16]byte
+	copy(cbcIV[:], b[4:20])
+	block, err := aes.NewCipher(kE[:])
+	if err != nil {
+		return nil, kA, false, err
+	}
+	pt := make([]byte, len(b)-20)
+	cipher.NewCBCDecrypter(block, cbcIV[:]).CryptBlocks(pt, b[20:])
+	pad := int(pt[len(pt)-1])
+	if pad < 1 || pad > aes.BlockSize || pad > len(pt) {
+		return nil, kA, false, errors.New("bitstream: bad padding (wrong K_E?)")
+	}
+	pt = pt[:len(pt)-pad]
+	if len(pt) < KeySize+4+KeySize+hmacSize {
+		return nil, kA, false, errors.New("bitstream: encrypted body too short")
+	}
+	copy(kA[:], pt[:KeySize])
+	n := int(binary.BigEndian.Uint32(pt[KeySize:]))
+	rest := pt[KeySize+4:]
+	if n < 0 || n+KeySize+hmacSize > len(rest) {
+		return nil, kA, false, errors.New("bitstream: bad body length (wrong K_E?)")
+	}
+	packets = rest[:n]
+	var kA2 [KeySize]byte
+	copy(kA2[:], rest[n:])
+	tag := rest[n+KeySize : n+KeySize+hmacSize]
+	mac := hmac.New(sha256.New, kA[:])
+	mac.Write(packets)
+	macOK = hmac.Equal(tag, mac.Sum(nil)) && kA == kA2
+	return packets, kA, macOK, nil
+}
+
+// Reseal builds a fresh envelope around modified packets reusing the
+// recovered K_A — the final step of the attack on an encrypted
+// bitstream: recompute the HMAC for B*, re-encrypt, load.
+func Reseal(packets []byte, kE, kA [KeySize]byte, cbcIV [16]byte) ([]byte, error) {
+	return Seal(packets, kE, kA, cbcIV)
+}

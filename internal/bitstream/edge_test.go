@@ -1,0 +1,152 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"snowbma/internal/boolfn"
+)
+
+func TestAllSlotsOfAFrameIndependent(t *testing.T) {
+	// Writing every slot of one frame must read back independently —
+	// the interleaved sub-vector layout must never alias.
+	frames := make([]byte, FrameBytes)
+	want := make([]boolfn.TT, SlotsPerFrame)
+	for s := 0; s < SlotsPerFrame; s++ {
+		want[s] = boolfn.TT(0x0101010101010101 * uint64(s+1))
+		if err := WriteLUT(frames, Loc{Frame: 0, Slot: s, Type: SliceL}, want[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < SlotsPerFrame; s++ {
+		got, err := ReadLUT(frames, Loc{Frame: 0, Slot: s, Type: SliceL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[s] {
+			t.Fatalf("slot %d aliased: got %v want %v", s, got, want[s])
+		}
+	}
+	// The three spare bytes of each quarter must stay zero.
+	for q := 0; q < SubVectors; q++ {
+		for b := SlotsPerFrame * SubVectorBytes; b < SubVectorOffset; b++ {
+			if frames[q*SubVectorOffset+b] != 0 {
+				t.Fatalf("spare byte %d of quarter %d written", b, q)
+			}
+		}
+	}
+}
+
+func TestLUTWriteOutOfRegion(t *testing.T) {
+	frames := make([]byte, FrameBytes)
+	if err := WriteLUT(frames, Loc{Frame: 1, Slot: 0, Type: SliceL}, boolfn.Const1); err == nil {
+		t.Fatal("write past the frame region accepted")
+	}
+	if _, err := ReadLUT(frames, Loc{Frame: -1, Slot: 0}); err == nil {
+		t.Fatal("negative frame accepted")
+	}
+}
+
+func TestType1Type2FieldExtraction(t *testing.T) {
+	for _, reg := range []uint32{RegCRC, RegFAR, RegFDRI, RegCMD, RegIDCODE} {
+		for _, count := range []int{0, 1, 7, 2047} {
+			w := Type1(reg, count)
+			if w>>29 != 1 {
+				t.Fatalf("Type1 tag wrong for reg %d", reg)
+			}
+			if w>>13&0x3FFF != reg {
+				t.Fatalf("Type1 reg field wrong: %08x", w)
+			}
+			if int(w&0x7FF) != count {
+				t.Fatalf("Type1 count field wrong: %08x", w)
+			}
+		}
+	}
+	for _, count := range []int{0, 1, 2432080, 1 << 26} {
+		w := Type2(count)
+		if w>>29 != 2 || int(w&0x07FFFFFF) != count {
+			t.Fatalf("Type2 fields wrong: %08x", w)
+		}
+	}
+}
+
+func TestCRCSensitiveToEveryFDRIBitSample(t *testing.T) {
+	img, _, _ := testImage(t)
+	p, _ := ParsePackets(img)
+	base, err := computeCRC(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample bit flips across the FDRI span: each must change the CRC.
+	for off := p.FDRIOffset; off < p.FDRIOffset+p.FDRILen; off += 1009 {
+		img[off] ^= 0x10
+		got, err := computeCRC(img)
+		img[off] ^= 0x10
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == base {
+			t.Fatalf("bit flip at %d invisible to CRC", off)
+		}
+	}
+}
+
+func TestParseRegionsRejectsOversizedClaims(t *testing.T) {
+	fdri := make([]byte, 2*FrameBytes)
+	writeFDRIHeaderFrame(fdri[:FrameBytes], 100, 0, 0, 0)
+	if _, err := ParseRegions(fdri); err == nil {
+		t.Fatal("accepted CLB region larger than the data")
+	}
+	writeFDRIHeaderFrame(fdri[:FrameBytes], 1, 0, 0, FrameBytes+1)
+	if _, err := ParseRegions(fdri); err == nil {
+		t.Fatal("accepted description length exceeding its frames")
+	}
+}
+
+func TestSealRejectsNothing_SmallPayloadOK(t *testing.T) {
+	var kE, kA [KeySize]byte
+	var iv [16]byte
+	enc, err := Seal([]byte{}, kE, kA, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _, ok, err := Open(enc, kE)
+	if err != nil || !ok || len(pt) != 0 {
+		t.Fatalf("empty payload round trip failed: %v ok=%v len=%d", err, ok, len(pt))
+	}
+}
+
+func TestDisableCRCIdempotent(t *testing.T) {
+	img, _, _ := testImage(t)
+	if err := DisableCRC(img); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), img...)
+	if err := DisableCRC(img); err != nil {
+		t.Fatal(err)
+	}
+	for i := range img {
+		if img[i] != snapshot[i] {
+			t.Fatal("second DisableCRC modified the image")
+		}
+	}
+}
+
+func TestHeaderWordsRoundTrip(t *testing.T) {
+	img, _, _ := testImage(t)
+	// The preamble must contain the bus-width pattern and sync word in
+	// order before any packets.
+	var seen []uint32
+	for i := 0; i+4 <= len(img) && len(seen) < 16; i += 4 {
+		seen = append(seen, binary.BigEndian.Uint32(img[i:]))
+	}
+	foundSync := false
+	for _, w := range seen {
+		if w == SyncWord {
+			foundSync = true
+		}
+	}
+	if !foundSync {
+		t.Fatal("sync word missing from the preamble")
+	}
+}

@@ -1,0 +1,137 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"snowbma/internal/boolfn"
+)
+
+// Frame geometry of the 7-series configuration plane.
+const (
+	// WordsPerFrame is the 7-series frame length (Section V-A).
+	WordsPerFrame = 101
+	// FrameBytes is the frame size in bytes.
+	FrameBytes = WordsPerFrame * 4
+	// SubVectorOffset is the paper's d: the distance in bytes between
+	// consecutive 16-bit sub-vectors of one LUT.
+	SubVectorOffset = 101
+	// SubVectors is the paper's r: a 64-bit LUT INIT is split into four
+	// 16-bit sub-vectors.
+	SubVectors = 4
+	// SubVectorBytes is the byte width of one sub-vector.
+	SubVectorBytes = 2
+	// SlotsPerFrame is how many LUTs one frame hosts: sub-vector q of
+	// slot s lives at byte q·101 + 2·s of the frame, leaving bytes
+	// 98..100 of each quarter as interconnect configuration.
+	SlotsPerFrame = 49
+)
+
+// SliceType distinguishes the two slice flavours, which store their LUT
+// sub-vectors in different orders (Section V-A).
+type SliceType uint8
+
+const (
+	// SliceL stores B1, B2, B3, B4.
+	SliceL SliceType = iota
+	// SliceM stores B4, B3, B1, B2.
+	SliceM
+)
+
+func (s SliceType) String() string {
+	if s == SliceM {
+		return "SLICEM"
+	}
+	return "SLICEL"
+}
+
+// subVectorOrder[t][q] gives which quarter of B is stored q·101 bytes
+// after the LUT's base offset for slice type t.
+var subVectorOrder = [2][4]int{
+	SliceL: {0, 1, 2, 3},
+	SliceM: {3, 2, 0, 1},
+}
+
+// SubVectorOrder exposes the storage order for a slice type (1-based
+// quarter numbers B1..B4 are the paper's naming; we use 0-based).
+func SubVectorOrder(t SliceType) [4]int { return subVectorOrder[t] }
+
+// EncodeLUT serializes a LUT INIT into its four 2-byte sub-vectors in
+// storage order for the given slice type. Sub-vector bytes are little
+// endian: byte 0 carries B[16q+0..7].
+func EncodeLUT(init boolfn.TT, t SliceType) [SubVectors][SubVectorBytes]byte {
+	b := Xi(init)
+	var out [SubVectors][SubVectorBytes]byte
+	for q := 0; q < SubVectors; q++ {
+		quarter := subVectorOrder[t][q]
+		v := uint16(b >> (16 * uint(quarter)))
+		out[q][0] = byte(v)
+		out[q][1] = byte(v >> 8)
+	}
+	return out
+}
+
+// DecodeLUT reconstructs a LUT INIT from four sub-vectors read in
+// storage order for the given slice type.
+func DecodeLUT(sub [SubVectors][SubVectorBytes]byte, t SliceType) boolfn.TT {
+	var b uint64
+	for q := 0; q < SubVectors; q++ {
+		quarter := subVectorOrder[t][q]
+		v := uint64(sub[q][0]) | uint64(sub[q][1])<<8
+		b |= v << (16 * uint(quarter))
+	}
+	return XiInv(b)
+}
+
+// Loc places a LUT in the configuration plane.
+type Loc struct {
+	Frame int
+	Slot  int
+	Type  SliceType
+}
+
+// baseOffset returns the byte offset of the LUT's first sub-vector
+// within the frame region.
+func (l Loc) baseOffset() int {
+	return l.Frame*FrameBytes + l.Slot*SubVectorBytes
+}
+
+// WriteLUT stores a LUT INIT into a frame region at the given location.
+func WriteLUT(frames []byte, l Loc, init boolfn.TT) error {
+	if l.Frame < 0 || l.Slot < 0 || l.Slot >= SlotsPerFrame {
+		return fmt.Errorf("bitstream: location frame %d slot %d out of range", l.Frame, l.Slot)
+	}
+	base := l.baseOffset()
+	if base+3*SubVectorOffset+SubVectorBytes > len(frames) {
+		return fmt.Errorf("bitstream: LUT at frame %d slot %d exceeds region", l.Frame, l.Slot)
+	}
+	sub := EncodeLUT(init, l.Type)
+	for q := 0; q < SubVectors; q++ {
+		copy(frames[base+q*SubVectorOffset:], sub[q][:])
+	}
+	return nil
+}
+
+// ReadLUT extracts the LUT INIT at the given location of a frame region.
+func ReadLUT(frames []byte, l Loc) (boolfn.TT, error) {
+	if l.Frame < 0 || l.Slot < 0 || l.Slot >= SlotsPerFrame {
+		return 0, fmt.Errorf("bitstream: location frame %d slot %d out of range", l.Frame, l.Slot)
+	}
+	base := l.baseOffset()
+	if base+3*SubVectorOffset+SubVectorBytes > len(frames) {
+		return 0, fmt.Errorf("bitstream: LUT at frame %d slot %d exceeds region", l.Frame, l.Slot)
+	}
+	var sub [SubVectors][SubVectorBytes]byte
+	for q := 0; q < SubVectors; q++ {
+		copy(sub[q][:], frames[base+q*SubVectorOffset:])
+	}
+	return DecodeLUT(sub, l.Type), nil
+}
+
+// FrameSliceType assigns slice flavours to frames: every fourth frame
+// column is a SLICEM column, roughly the ratio of 7-series fabric.
+func FrameSliceType(frame int) SliceType {
+	if frame%4 == 2 {
+		return SliceM
+	}
+	return SliceL
+}

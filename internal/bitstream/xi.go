@@ -1,0 +1,76 @@
+// Package bitstream implements the Xilinx 7-series configuration
+// bitstream format at the level of detail the paper's attack operates on:
+// Type 1/Type 2 configuration packets, the FDRI frame data (101 words of
+// 4 bytes per frame), the ξ permutation of LUT truth tables (Table I of
+// the paper), the r = 4 sub-vector partitioning at d = 101-byte offsets
+// with SLICEL/SLICEM orders, the configuration CRC with the disable
+// technique of Section V-B, and the MAC-then-encrypt envelope of Fig. 1
+// (HMAC key stored in two plaintext locations inside the encrypted
+// region).
+//
+// The assembler serializes a technology-mapped design into a bitstream;
+// the companion package device configures a simulated FPGA from the raw
+// bytes. The attack only ever touches the bytes.
+package bitstream
+
+import "snowbma/internal/boolfn"
+
+// xiTable is Table I of the paper: xiTable[i] is the bit position of F[i]
+// in the permuted vector B = ξ(F). F is indexed with a1 as the least
+// significant index bit, matching the table's (a6 ... a1) row labels.
+var xiTable = [64]byte{
+	63, 47, 62, 46, 61, 45, 60, 44,
+	15, 31, 14, 30, 13, 29, 12, 28,
+	59, 43, 58, 42, 57, 41, 56, 40,
+	11, 27, 10, 26, 9, 25, 8, 24,
+	55, 39, 54, 38, 53, 37, 52, 36,
+	7, 23, 6, 22, 5, 21, 4, 20,
+	51, 35, 50, 34, 49, 33, 48, 32,
+	3, 19, 2, 18, 1, 17, 0, 16,
+}
+
+// xiInverse[j] is the F position stored at B[j].
+var xiInverse = func() [64]byte {
+	var inv [64]byte
+	for i, j := range xiTable {
+		inv[j] = byte(i)
+	}
+	return inv
+}()
+
+// XiPosition returns ξ's image of truth-table position i, exposing Table
+// I programmatically (used by tests and the CLI inspect command).
+func XiPosition(i int) int { return int(xiTable[i&63]) }
+
+// Xi permutes a 64-bit truth table F into the bitstream-order vector
+// B = ξ(F).
+func Xi(f boolfn.TT) uint64 {
+	var b uint64
+	for i := 0; i < 64; i++ {
+		b |= uint64(f>>uint(i)&1) << xiTable[i]
+	}
+	return b
+}
+
+// XiInv recovers the truth table from its bitstream-order vector.
+func XiInv(b uint64) boolfn.TT {
+	var f boolfn.TT
+	for j := 0; j < 64; j++ {
+		f |= boolfn.TT(b>>uint(j)&1) << xiInverse[j]
+	}
+	return f
+}
+
+// xiFormula is the closed form of Table I, used as a structural
+// cross-check against transcription errors: the B index of F[a6..a1] is
+// {¬a4, ¬(a1⊕a4), ¬a6, ¬a5, ¬a3, ¬a2} from MSB to LSB.
+func xiFormula(i int) int {
+	a := func(n uint) uint64 { return uint64(i) >> (n - 1) & 1 }
+	out5 := 1 - a(4)
+	out4 := 1 - (a(1) ^ a(4))
+	out3 := 1 - a(6)
+	out2 := 1 - a(5)
+	out1 := 1 - a(3)
+	out0 := 1 - a(2)
+	return int(out5<<5 | out4<<4 | out3<<3 | out2<<2 | out1<<1 | out0)
+}

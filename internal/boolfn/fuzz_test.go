@@ -1,0 +1,30 @@
+package boolfn
+
+import "testing"
+
+// FuzzParse hardens the expression parser against arbitrary input: no
+// panic, and anything Format produces must parse back to the same table.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(a1^a2^a3)a4a5!a6",
+		"a6(a1a2 + !a1a3) + !a6(a1a4 + !a1a5)",
+		"a1'a2' ^ 1",
+		"((((a1))))",
+		"!!!!a3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		tt, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		back, err := Parse(Format(tt))
+		if err != nil {
+			t.Fatalf("Format produced unparseable output for %q: %v", expr, err)
+		}
+		if back != tt {
+			t.Fatalf("Format/Parse not stable for %q", expr)
+		}
+	})
+}

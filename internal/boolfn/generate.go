@@ -1,0 +1,87 @@
+package boolfn
+
+// This file implements the candidate-guessing logic of Section VI-B: the
+// target node v is an XOR covered together with mode-switching MUX logic,
+// so a k-LUT covering it computes XOR(n inputs) · AND(c control literals)
+// — possibly with a linear feedback term XORed in. Because FINDLUT
+// evaluates all input permutations, only the *multiset* of control
+// polarities matters: "it is sufficient to consider c+1 choices rather
+// than 2^c". Generating the families for c = 2 and 3 reproduces exactly
+// the 21 rows of Table II.
+
+// gating builds the AND of c control literals starting at variable
+// `first` (0-based), with `pos` of them positive.
+func gating(first, c, pos int) TT {
+	acc := Const1
+	for i := 0; i < c; i++ {
+		lit := Var(first + i)
+		if i >= pos {
+			lit = Not(lit)
+		}
+		acc = And(acc, lit)
+	}
+	return acc
+}
+
+// xorOf builds a1 ⊕ ... ⊕ an.
+func xorOf(n int) TT {
+	acc := Const0
+	for i := 0; i < n; i++ {
+		acc = Xor(acc, Var(i))
+	}
+	return acc
+}
+
+// GenerateZCandidates enumerates the guessed functions for a LUT
+// covering v on the keystream-output path: XOR(xorArity) gated by c
+// control literals, for every control count in [minC, maxC] and every
+// polarity multiset. For xorArity = 3, minC = 2, maxC = 3 this is rows
+// f1–f7 of Table II.
+func GenerateZCandidates(xorArity, minC, maxC int) []TT {
+	if xorArity+maxC > MaxVars {
+		panic("boolfn: candidate exceeds LUT inputs")
+	}
+	var out []TT
+	for c := maxC; c >= minC; c-- {
+		for pos := c; pos >= 0; pos-- {
+			out = append(out, And(xorOf(xorArity), gating(xorArity, c, pos)))
+		}
+	}
+	return out
+}
+
+// GenerateFeedbackCandidates enumerates the guessed functions for a LUT
+// covering v on the LFSR feedback path: (a1 ⊕ a2) gated by control
+// literals, XOR the linear feedback term, which itself may arrive gated
+// by one further control. The three families (3 gates + plain linear,
+// 2 gates + gated linear, 1 gate + gated linear) with all polarity
+// multisets are rows f8–f21 of Table II.
+func GenerateFeedbackCandidates() []TT {
+	v := xorOf(2)
+	var out []TT
+	// Family A: v·(±a3)(±a4)(±a5) ⊕ a6 — polarity multisets of 3.
+	for pos := 3; pos >= 0; pos-- {
+		out = append(out, Xor(And(v, gating(2, 3, pos)), A(6)))
+	}
+	// Family B: v·(±a4)(±a5) ⊕ (±a3)·a6.
+	for pos := 2; pos >= 0; pos-- {
+		g := gating(3, 2, pos)
+		out = append(out, Xor(And(v, g), And(A(3), A(6))))
+		out = append(out, Xor(And(v, g), And(Not(A(3)), A(6))))
+	}
+	// Family C: v·(±a4) ⊕ (±a3)·a6.
+	for pos := 1; pos >= 0; pos-- {
+		g := gating(3, 1, pos)
+		out = append(out, Xor(And(v, g), And(A(3), A(6))))
+		out = append(out, Xor(And(v, g), And(Not(A(3)), A(6))))
+	}
+	return out
+}
+
+// GenerateCatalogue reproduces the full Table II candidate list from the
+// Section VI-B reasoning. The result is P-classwise equal to
+// Candidates(); the test suite pins this.
+func GenerateCatalogue() []TT {
+	out := GenerateZCandidates(3, 2, 3)
+	return append(out, GenerateFeedbackCandidates()...)
+}

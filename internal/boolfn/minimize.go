@@ -1,0 +1,163 @@
+package boolfn
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Quine–McCluskey two-level minimization for functions of up to six
+// variables. Six variables means at most 64 minterms and 3^6 = 729
+// possible product terms, so the exact algorithm (prime implicant
+// generation plus a greedy set cover with essential-implicant
+// extraction) is instantaneous. It is used to display discovered LUT
+// functions in the paper's compact notation, e.g.
+// 64'h0008080000000800 → "(a1^a2^a3)a4a5a6'" style products.
+
+// implicant is a product term: care marks the variables that appear,
+// val their required values (subset of care).
+type implicant struct {
+	care uint8
+	val  uint8
+}
+
+// covers reports whether the implicant contains minterm m.
+func (im implicant) covers(m uint8) bool { return m&im.care == im.val }
+
+// term renders the implicant in paper notation ("a1a2'a5").
+func (im implicant) term() string {
+	if im.care == 0 {
+		return "1"
+	}
+	var b strings.Builder
+	for j := 0; j < MaxVars; j++ {
+		if im.care>>uint(j)&1 == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "a%d", j+1)
+		if im.val>>uint(j)&1 == 0 {
+			b.WriteByte('\'')
+		}
+	}
+	return b.String()
+}
+
+// primeImplicants computes all prime implicants of f by iterative
+// merging of adjacent implicants.
+func primeImplicants(f TT) []implicant {
+	if f == Const0 {
+		return nil
+	}
+	current := map[implicant]bool{}
+	for m := uint8(0); m < 64; m++ {
+		if f.Eval(uint(m)) {
+			current[implicant{care: 63, val: m}] = true
+		}
+	}
+	var primes []implicant
+	for len(current) > 0 {
+		merged := map[implicant]bool{}
+		used := map[implicant]bool{}
+		list := make([]implicant, 0, len(current))
+		for im := range current {
+			list = append(list, im)
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.care != b.care {
+					continue
+				}
+				diff := a.val ^ b.val
+				if bits.OnesCount8(diff) != 1 {
+					continue
+				}
+				merged[implicant{care: a.care &^ diff, val: a.val &^ diff}] = true
+				used[a], used[b] = true, true
+			}
+		}
+		for im := range current {
+			if !used[im] {
+				primes = append(primes, im)
+			}
+		}
+		current = merged
+	}
+	return primes
+}
+
+// Minimize returns a minimal (prime, irredundant, greedily minimized)
+// sum-of-products for f in paper notation. Constants render as "0"/"1".
+func Minimize(f TT) string {
+	if f == Const0 {
+		return "0"
+	}
+	if f == Const1 {
+		return "1"
+	}
+	primes := primeImplicants(f)
+	var minterms []uint8
+	for m := uint8(0); m < 64; m++ {
+		if f.Eval(uint(m)) {
+			minterms = append(minterms, m)
+		}
+	}
+	// Essential primes first, then greedy cover by coverage count.
+	var chosen []implicant
+	covered := map[uint8]bool{}
+	for _, m := range minterms {
+		var hit []implicant
+		for _, p := range primes {
+			if p.covers(m) {
+				hit = append(hit, p)
+			}
+		}
+		if len(hit) == 1 && !covered[m] {
+			already := false
+			for _, c := range chosen {
+				if c == hit[0] {
+					already = true
+					break
+				}
+			}
+			if !already {
+				chosen = append(chosen, hit[0])
+				for _, mm := range minterms {
+					if hit[0].covers(mm) {
+						covered[mm] = true
+					}
+				}
+			}
+		}
+	}
+	for {
+		best, bestGain := implicant{}, 0
+		for _, p := range primes {
+			gain := 0
+			for _, m := range minterms {
+				if !covered[m] && p.covers(m) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = p, gain
+			}
+		}
+		if bestGain == 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		for _, m := range minterms {
+			if best.covers(m) {
+				covered[m] = true
+			}
+		}
+	}
+	terms := make([]string, len(chosen))
+	for i, c := range chosen {
+		terms[i] = c.term()
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, " + ")
+}

@@ -1,0 +1,43 @@
+package boolfn
+
+// NPN classification: two functions are NPN-equivalent when one maps to
+// the other by Negating inputs, Permuting inputs and/or Negating the
+// output. FINDLUT and the Table II catalogue work with P-classes because
+// the catalogue enumerates polarity variants explicitly; NPN canon is
+// the coarser census view that also catches implementations which
+// absorbed input or output inverters into the LUT.
+
+// FlipVar complements variable j of f: f'(.., a_j, ..) = f(.., ¬a_j, ..).
+func FlipVar(f TT, j int) TT {
+	v := Var(j)
+	s := uint(1) << uint(j)
+	return (f&v)>>s | (f&^v)<<s
+}
+
+// NPNCanon returns the canonical representative of f's NPN class: the
+// minimum table over all 720 input permutations × 64 input-polarity
+// masks × 2 output polarities.
+func NPNCanon(f TT) TT {
+	min := ^TT(0)
+	for _, p := range perms6 {
+		base := f.Permute(p)
+		for mask := 0; mask < 64; mask++ {
+			g := base
+			for j := 0; j < MaxVars; j++ {
+				if mask>>uint(j)&1 == 1 {
+					g = FlipVar(g, j)
+				}
+			}
+			if g < min {
+				min = g
+			}
+			if ng := ^g; ng < min {
+				min = ng
+			}
+		}
+	}
+	return min
+}
+
+// NPNEquivalent reports whether f and g lie in the same NPN class.
+func NPNEquivalent(f, g TT) bool { return NPNCanon(f) == NPNCanon(g) }

@@ -1,0 +1,82 @@
+package boolfn
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Spectral techniques (the paper's reference [30], Hurst/Miller/Muzio,
+// "Spectral Techniques in Digital Logic"): the Walsh–Hadamard spectrum of
+// a Boolean function is permuted-within-weight-classes by input
+// permutation, so the multiset of coefficient magnitudes per index weight
+// is a P-class invariant. It provides a cheap necessary condition for
+// P-equivalence that filters candidates before the exact 720-permutation
+// check.
+
+// Walsh returns the Walsh–Hadamard spectrum of f in (1, −1) encoding:
+// W[u] = Σ_x (−1)^{f(x) ⊕ (u·x)}.
+func Walsh(f TT) [64]int {
+	var w [64]int
+	for x := uint(0); x < 64; x++ {
+		if f.Eval(x) {
+			w[x] = -1
+		} else {
+			w[x] = 1
+		}
+	}
+	// Fast Walsh–Hadamard transform.
+	for step := 1; step < 64; step <<= 1 {
+		for i := 0; i < 64; i += step << 1 {
+			for j := i; j < i+step; j++ {
+				a, b := w[j], w[j+step]
+				w[j], w[j+step] = a+b, a-b
+			}
+		}
+	}
+	return w
+}
+
+// SpectralSignature returns a P-class invariant: for each index weight
+// 0..6 the sorted magnitudes of the Walsh coefficients whose index has
+// that popcount. Two P-equivalent functions have equal signatures (the
+// converse does not hold in general).
+type SpectralSignature [7][]int
+
+// Signature computes the spectral signature of f.
+func Signature(f TT) SpectralSignature {
+	w := Walsh(f)
+	var sig SpectralSignature
+	for u := 0; u < 64; u++ {
+		v := w[u]
+		if v < 0 {
+			v = -v
+		}
+		k := bits.OnesCount8(uint8(u))
+		sig[k] = append(sig[k], v)
+	}
+	for k := range sig {
+		sort.Ints(sig[k])
+	}
+	return sig
+}
+
+// Equal compares two signatures.
+func (s SpectralSignature) Equal(o SpectralSignature) bool {
+	for k := range s {
+		if len(s[k]) != len(o[k]) {
+			return false
+		}
+		for i := range s[k] {
+			if s[k][i] != o[k][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaybePEquivalent is the spectral pre-filter: false means definitely not
+// P-equivalent; true means the exact permutation check is still needed.
+func MaybePEquivalent(f, g TT) bool {
+	return Signature(f).Equal(Signature(g))
+}

@@ -1,0 +1,151 @@
+package boolfn
+
+// XOR-structure analysis: the attack's target node v is a 2-input XOR,
+// so every LUT covering it depends on two of its inputs *only through
+// their parity*. These predicates detect that structure directly from a
+// truth table, which lets an attacker shortlist target classes from a
+// LUT census without guessing a candidate catalogue first.
+
+// xorThrough reports whether f depends on variables i and j only through
+// a_i ⊕ a_j: swapping the pair's values (0,1)→(1,0) and (0,0)→(1,1)
+// leaves f unchanged.
+func xorThrough(f TT, i, j int) bool {
+	if i == j {
+		return false
+	}
+	f00 := f.Cofactor(i, false).Cofactor(j, false)
+	f11 := f.Cofactor(i, true).Cofactor(j, true)
+	f01 := f.Cofactor(i, false).Cofactor(j, true)
+	f10 := f.Cofactor(i, true).Cofactor(j, false)
+	return f00 == f11 && f01 == f10
+}
+
+// XorPairs returns all variable pairs (i < j) that f sees only as their
+// XOR, restricted to variables in f's support. For f2 this is the three
+// pairs of the XOR trio; for f8/f19 the single pair (a1, a2).
+func XorPairs(f TT) [][2]int {
+	mask, _ := f.Support()
+	var out [][2]int
+	for i := 0; i < MaxVars; i++ {
+		if mask>>uint(i)&1 == 0 {
+			continue
+		}
+		for j := i + 1; j < MaxVars; j++ {
+			if mask>>uint(j)&1 == 0 {
+				continue
+			}
+			if xorThrough(f, i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// XorGroups merges XorPairs into maximal groups: variables pairwise
+// XOR-transparent form one parity input. f2 yields {a1, a2, a3}.
+func XorGroups(f TT) [][]int {
+	pairs := XorPairs(f)
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, p := range pairs {
+		for _, v := range p {
+			if _, ok := parent[v]; !ok {
+				parent[v] = v
+			}
+		}
+		ra, rb := find(p[0]), find(p[1])
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	groups := map[int][]int{}
+	for v := range parent {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	var out [][]int
+	for _, g := range groups {
+		// insertion sort for determinism
+		for i := 1; i < len(g); i++ {
+			for j := i; j > 0 && g[j] < g[j-1]; j-- {
+				g[j], g[j-1] = g[j-1], g[j]
+			}
+		}
+		out = append(out, g)
+	}
+	// deterministic order by first element
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// StuckXorZero returns f with the XOR of the given group forced to 0 —
+// the generic form of the paper's fault α (equation (1)): substitute
+// a_i = a_j, i.e. take the cofactor where the parity is even. The result
+// no longer depends on any group variable except the first (which is
+// then also removed since the parity is fixed).
+func StuckXorZero(f TT, group []int) TT {
+	if len(group) < 2 {
+		return f
+	}
+	// Set all group variables equal to the first one, then note the
+	// parity of |group| copies of the same value: for even sizes the
+	// parity is constant 0; for odd sizes it equals the variable itself.
+	// The paper's case is a pair inside a wider XOR: replace the PAIR by
+	// 0, keeping any remaining XOR inputs. We implement pair semantics:
+	// group[0] and group[1] are tied, further variables left intact.
+	// Only pair semantics are defined (the paper's v is a 2-input XOR):
+	// tie group[0] = group[1], which fixes their parity to 0. For
+	// xor-through pairs the even cofactor is independent of both
+	// variables and fully defines the faulty table.
+	i, j := group[0], group[1]
+	return f.Cofactor(i, false).Cofactor(j, false)
+}
+
+// MuxSelectVars returns the variables s for which f decomposes as
+// s·g ⊕ s̄·h with g and h non-constant and support-disjoint — the
+// signature of a 2-to-1 MUX between unrelated data (the γ(K, IV) load
+// MUXes). Gated functions like f2 fail the non-constant condition and
+// XOR-merged functions like f8 fail disjointness.
+func MuxSelectVars(f TT) []int {
+	mask, _ := f.Support()
+	var out []int
+	for s := 0; s < MaxVars; s++ {
+		if mask>>uint(s)&1 == 0 {
+			continue
+		}
+		g := f.Cofactor(s, true)
+		h := f.Cofactor(s, false)
+		if g == Const0 || g == Const1 || h == Const0 || h == Const1 {
+			continue
+		}
+		gm, _ := g.Support()
+		hm, _ := h.Support()
+		if gm&hm == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ZeroMuxBranch returns f with the branch selected by s = val replaced
+// by constant 0 — the generic form of the paper's fault β applied to a
+// load MUX.
+func ZeroMuxBranch(f TT, s int, val bool) TT {
+	v := Var(s)
+	if val {
+		return And(Not(v), f.Cofactor(s, false))
+	}
+	return And(v, f.Cofactor(s, true))
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sort"
+
+	"snowbma/internal/boolfn"
+)
+
+// OverlapRow reports, for a pair of Table II candidate functions, how
+// many of their FINDLUT matches occupy overlapping byte positions. The
+// paper uses this analysis in Section VI-C.2 to dismiss the f9/f11/f21
+// hits: "by examining their byte positions in the bitstream we can see
+// that they are the same as for f19" — overlapping matches cannot both
+// be real LUTs.
+type OverlapRow struct {
+	A, B   string
+	Shared int
+	ACount int
+	BCount int
+}
+
+// OverlapAnalysis runs FINDLUT for every named candidate on the
+// bitstream and reports all pairs with at least one overlapping match.
+func OverlapAnalysis(b []byte, names []string) []OverlapRow {
+	type set struct {
+		name    string
+		matches []Match
+	}
+	var sets []set
+	for _, name := range names {
+		c, ok := boolfn.CandidateByName(name)
+		if !ok {
+			continue
+		}
+		sets = append(sets, set{name: name, matches: FindLUT(b, c.TT, FindOptions{})})
+	}
+	var out []OverlapRow
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			shared := 0
+			for _, ma := range sets[i].matches {
+				for _, mb := range sets[j].matches {
+					if ma.Overlaps(mb) {
+						shared++
+						break
+					}
+				}
+			}
+			if shared > 0 {
+				out = append(out, OverlapRow{
+					A: sets[i].name, B: sets[j].name, Shared: shared,
+					ACount: len(sets[i].matches), BCount: len(sets[j].matches),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shared > out[j].Shared })
+	return out
+}

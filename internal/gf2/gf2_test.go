@@ -1,0 +1,170 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			m.Set(r, c, rng.Intn(2) == 1)
+		}
+	}
+	return m
+}
+
+func randomVec(rng *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+func matricesEqual(a, b *Matrix) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	for r := 0; r < a.N(); r++ {
+		for c := 0; c < a.N(); c++ {
+			if a.Get(r, c) != b.Get(r, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestIdentityActsTrivially(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 64, 65, 130} {
+		id := Identity(n)
+		v := randomVec(rng, n)
+		got := id.MulVec(v)
+		for i := 0; i < n; i++ {
+			if got.Get(i) != v.Get(i) {
+				t.Fatalf("n=%d: identity moved bit %d", n, i)
+			}
+		}
+		m := randomMatrix(rng, n)
+		if !matricesEqual(id.Mul(m), m) || !matricesEqual(m.Mul(id), m) {
+			t.Fatalf("n=%d: identity not neutral for Mul", n)
+		}
+	}
+}
+
+func TestMulMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(70)
+		a, b := randomMatrix(rng, n), randomMatrix(rng, n)
+		v := randomVec(rng, n)
+		// (A·B)·v == A·(B·v)
+		left := a.Mul(b).MulVec(v)
+		right := a.MulVec(b.MulVec(v))
+		for i := 0; i < n; i++ {
+			if left.Get(i) != right.Get(i) {
+				t.Fatalf("trial %d: associativity violated at bit %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	found := 0
+	for trial := 0; trial < 30 && found < 10; trial++ {
+		n := 20 + rng.Intn(60)
+		m := randomMatrix(rng, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			continue // singular; random GF(2) matrices are ~71% invertible
+		}
+		found++
+		if !matricesEqual(m.Mul(inv), Identity(n)) || !matricesEqual(inv.Mul(m), Identity(n)) {
+			t.Fatalf("trial %d: M·M⁻¹ ≠ I", trial)
+		}
+	}
+	if found < 10 {
+		t.Fatalf("only %d invertible samples; generator suspicious", found)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	m := NewMatrix(4)
+	// Row 3 = row 0 ⊕ row 1: singular by construction.
+	m.Set(0, 0, true)
+	m.Set(0, 2, true)
+	m.Set(1, 1, true)
+	m.Set(2, 3, true)
+	m.Set(3, 0, true)
+	m.Set(3, 1, true)
+	m.Set(3, 2, true)
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("inverted a singular matrix")
+	}
+	if r := m.Rank(); r != 3 {
+		t.Fatalf("rank = %d, want 3", r)
+	}
+}
+
+func TestPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 40
+	m := randomMatrix(rng, n)
+	// M^5 == M·M·M·M·M
+	direct := m.Mul(m).Mul(m).Mul(m).Mul(m)
+	if !matricesEqual(m.Pow(5), direct) {
+		t.Fatal("Pow(5) wrong")
+	}
+	if !matricesEqual(m.Pow(0), Identity(n)) {
+		t.Fatal("Pow(0) is not identity")
+	}
+}
+
+func TestFromFuncReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 50
+	m := randomMatrix(rng, n)
+	rebuilt := FromFunc(n, func(v Vec) Vec { return m.MulVec(v) })
+	if !matricesEqual(m, rebuilt) {
+		t.Fatal("FromFunc did not reconstruct the matrix")
+	}
+}
+
+func TestRankFullForIdentity(t *testing.T) {
+	if Identity(129).Rank() != 129 {
+		t.Fatal("identity rank wrong")
+	}
+	if NewMatrix(10).Rank() != 0 {
+		t.Fatal("zero matrix rank wrong")
+	}
+}
+
+func BenchmarkMul512(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomMatrix(rng, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m = m.Mul(m)
+	}
+}
+
+func BenchmarkInverse512(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var m *Matrix
+	for {
+		m = randomMatrix(rng, 512)
+		if _, err := m.Inverse(); err == nil {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package gf2
+
+import "testing"
+
+func TestVecCrossWordBoundary(t *testing.T) {
+	v := NewVec(130)
+	for _, i := range []int{0, 63, 64, 65, 127, 128, 129} {
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+	if !v.IsZero() {
+		t.Fatal("vector should be zero")
+	}
+}
+
+func TestVecXorAndClone(t *testing.T) {
+	a := NewVec(100)
+	a.Set(3, true)
+	a.Set(77, true)
+	b := a.Clone()
+	b.Set(50, true)
+	if a.Get(50) {
+		t.Fatal("Clone aliases storage")
+	}
+	a.Xor(b)
+	// a ⊕ b: bits 3 and 77 cancel, bit 50 remains.
+	if a.Get(3) || a.Get(77) || !a.Get(50) {
+		t.Fatal("Xor semantics wrong")
+	}
+}
+
+func TestMulVecDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Identity(8).MulVec(NewVec(9))
+}
+
+func TestVarLevelValidation(t *testing.T) {
+	m := NewMatrix(4)
+	m.Set(0, 0, true)
+	if m.Get(0, 0) != true || m.Get(1, 1) != false {
+		t.Fatal("Get/Set broken")
+	}
+}

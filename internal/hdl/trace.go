@@ -1,0 +1,75 @@
+package hdl
+
+import (
+	"fmt"
+	"io"
+
+	"snowbma/internal/vcd"
+)
+
+// TraceDevice wraps a Device and dumps a VCD waveform of its input and
+// output pins, one sample per clock cycle — the debugging view a
+// hardware engineer would use to watch the (possibly faulted) cipher
+// run.
+type TraceDevice struct {
+	inner   Device
+	wr      *vcd.Writer
+	pins    []string
+	inputs  map[string]bool
+	nOut    int
+	samples int
+}
+
+// NewTraceDevice traces the given input pins (mirrored from SetInput
+// calls) and output pins (read back after every clock) into w.
+func NewTraceDevice(inner Device, w io.Writer, inputPins, outputPins []string) *TraceDevice {
+	pins := append(append([]string{}, inputPins...), outputPins...)
+	return &TraceDevice{
+		inner:  inner,
+		wr:     vcd.New(w, "snow3g", pins),
+		pins:   pins,
+		inputs: map[string]bool{},
+		nOut:   len(outputPins),
+	}
+}
+
+// SetInput forwards to the wrapped device and mirrors the value.
+func (t *TraceDevice) SetInput(name string, v bool) {
+	t.inputs[name] = v
+	t.inner.SetInput(name, v)
+}
+
+// Clock advances the device and samples all traced pins.
+func (t *TraceDevice) Clock() {
+	t.inner.Clock()
+	values := make([]bool, len(t.pins))
+	for i, pin := range t.pins {
+		if i < len(t.pins)-t.nOut {
+			values[i] = t.inputs[pin]
+		} else {
+			values[i] = t.inner.Read(pin)
+		}
+	}
+	if err := t.wr.Tick(values); err != nil {
+		panic(fmt.Sprintf("hdl: VCD trace failed: %v", err))
+	}
+	t.samples++
+}
+
+// Read forwards to the wrapped device.
+func (t *TraceDevice) Read(name string) bool { return t.inner.Read(name) }
+
+// Close finalizes the waveform and reports the number of cycles traced.
+func (t *TraceDevice) Close() (int, error) {
+	return t.samples, t.wr.Close()
+}
+
+// KeystreamPins returns a convenient probe set: the four controls and
+// the full z word.
+func KeystreamPins() (inputs, outputs []string) {
+	inputs = []string{PortLoad, PortInit, PortRun, PortGen}
+	for i := 0; i < 32; i++ {
+		outputs = append(outputs, fmt.Sprintf("%s[%d]", PortZ, i))
+	}
+	return inputs, outputs
+}

@@ -1,0 +1,121 @@
+package mapper
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"snowbma/internal/netlist"
+)
+
+// WriteBLIF exports the mapped LUT network in Berkeley Logic Interchange
+// Format, the lingua franca of academic logic-synthesis tools (ABC,
+// VTR). LUTs become .names blocks with their on-set cubes, flip-flops
+// become .latch lines, and BRAM/carry primitives are declared as
+// black-box subcircuits — enough for cross-validation of the LUT logic
+// in external tools.
+func WriteBLIF(w io.Writer, r *Result, model string) error {
+	n := r.Netlist
+	name := func(id netlist.NodeID) string { return fmt.Sprintf("n%d", id) }
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p(".model %s\n", model); err != nil {
+		return err
+	}
+	// Inputs: primary inputs; pseudo-inputs for BRAM and carry outputs
+	// (their generators are black boxes from BLIF's perspective).
+	if err := p(".inputs"); err != nil {
+		return err
+	}
+	for _, pi := range n.PIs {
+		if err := p(" %s", name(pi)); err != nil {
+			return err
+		}
+	}
+	for id := range n.Nodes {
+		switch n.Nodes[id].Op {
+		case netlist.OpBRAMOut, netlist.OpAdderOut:
+			if err := p(" %s", name(netlist.NodeID(id))); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("\n.outputs"); err != nil {
+		return err
+	}
+	outs := n.OutputNames()
+	sort.Strings(outs)
+	for _, o := range outs {
+		if err := p(" po_%s", sanitize(o)); err != nil {
+			return err
+		}
+	}
+	if err := p("\n"); err != nil {
+		return err
+	}
+	// Constants.
+	if err := p(".names n0\n.names n1\n1\n"); err != nil {
+		return err
+	}
+	// Latches.
+	for _, ff := range n.FFs {
+		init := 0
+		if ff.Init {
+			init = 1
+		}
+		if err := p(".latch %s %s re clk %d\n", name(ff.D), name(ff.Q), init); err != nil {
+			return err
+		}
+	}
+	// LUTs as .names with on-set cubes.
+	for _, lut := range r.LUTs {
+		if err := p(".names"); err != nil {
+			return err
+		}
+		for _, in := range lut.Inputs {
+			if err := p(" %s", name(in)); err != nil {
+				return err
+			}
+		}
+		if err := p(" %s\n", name(lut.Root)); err != nil {
+			return err
+		}
+		k := len(lut.Inputs)
+		for m := uint(0); m < 1<<uint(k); m++ {
+			if !lut.Fn.Eval(m) {
+				continue
+			}
+			row := make([]byte, k)
+			for i := 0; i < k; i++ {
+				row[i] = '0' + byte(m>>uint(i)&1)
+			}
+			if err := p("%s 1\n", string(row)); err != nil {
+				return err
+			}
+		}
+	}
+	// Output drivers.
+	for _, o := range outs {
+		if err := p(".names %s po_%s\n1 1\n", name(n.POs[o]), sanitize(o)); err != nil {
+			return err
+		}
+	}
+	return p(".end\n")
+}
+
+// sanitize maps net names into BLIF-safe identifiers.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,108 @@
+package mapper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"snowbma/internal/netlist"
+)
+
+// This file automates the Section VII-A countermeasure: given the target
+// nodes V_t, select decoy nodes U ⊆ V − V_t implementing the same
+// functions and constrain all of them to trivial cuts, with |U| sized by
+// Lemma VII-A for the requested security level. The paper closes by
+// noting the countermeasure "can be automated and incorporated into
+// industrial design tools" — this is that automation for our mapper.
+
+// Plan is a computed countermeasure configuration.
+type Plan struct {
+	// TrivialCuts is the constraint set to pass to Options.
+	TrivialCuts map[netlist.NodeID]bool
+	// Targets and Decoys partition the constraint set.
+	Targets []netlist.NodeID
+	Decoys  []netlist.NodeID
+	// SecurityBits is the Lemma VII-A bound achieved (log2).
+	SecurityBits float64
+}
+
+// gateClass returns a coarse function label for "nodes implementing the
+// same function": the gate op plus input polarities are already
+// canonical in our strashed netlists, so 2-input gate kinds suffice.
+func gateClass(n *netlist.Netlist, v netlist.NodeID) (netlist.Op, bool) {
+	nd := &n.Nodes[v]
+	if !nd.Op.IsGate() {
+		return 0, false
+	}
+	return nd.Op, true
+}
+
+// PlanCountermeasure selects decoys for the given targets so that the
+// Lemma VII-A bound reaches securityBits. All targets must share one
+// gate function (the paper's m nodes with the same f_v); decoys are
+// other nodes of the same function class, preferred in ascending
+// fanout order (cheap to constrain). It fails when the design does not
+// contain enough same-function nodes — the countermeasure then requires
+// adding redundant logic, which is out of scope for a mapper.
+func PlanCountermeasure(n *netlist.Netlist, targets []netlist.NodeID, securityBits int) (*Plan, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("mapper: no targets given")
+	}
+	class, ok := gateClass(n, targets[0])
+	if !ok {
+		return nil, fmt.Errorf("mapper: target %d is not a gate", targets[0])
+	}
+	targetSet := map[netlist.NodeID]bool{}
+	for _, v := range targets {
+		c, ok := gateClass(n, v)
+		if !ok || c != class {
+			return nil, fmt.Errorf("mapper: target %d does not implement the common function", v)
+		}
+		targetSet[v] = true
+	}
+	m := len(targets)
+
+	// Candidate decoys: same gate class, not a target.
+	var candidates []netlist.NodeID
+	for id := range n.Nodes {
+		v := netlist.NodeID(id)
+		if targetSet[v] {
+			continue
+		}
+		if c, ok := gateClass(n, v); ok && c == class {
+			candidates = append(candidates, v)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		fi, fj := n.Fanout(candidates[i]), n.Fanout(candidates[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return candidates[i] < candidates[j]
+	})
+
+	// Smallest r with the Lemma bound ≥ securityBits, bounded by what the
+	// design can supply.
+	bound := func(r int) float64 {
+		return float64(m) * math.Log2(math.E*float64(m+r)/float64(m))
+	}
+	need := 0
+	for need <= len(candidates) && bound(need) < float64(securityBits) {
+		need++
+	}
+	if need > len(candidates) {
+		return nil, fmt.Errorf("mapper: 2^%d needs more same-function decoys than the design's %d (bound with all of them: 2^%.1f)",
+			securityBits, len(candidates), bound(len(candidates)))
+	}
+	plan := &Plan{TrivialCuts: map[netlist.NodeID]bool{}}
+	plan.Targets = append(plan.Targets, targets...)
+	plan.Decoys = append(plan.Decoys, candidates[:need]...)
+	for _, v := range targets {
+		plan.TrivialCuts[v] = true
+	}
+	for _, v := range plan.Decoys {
+		plan.TrivialCuts[v] = true
+	}
+	plan.SecurityBits = float64(m) * math.Log2(math.E*float64(m+need)/float64(m))
+	return plan, nil
+}

@@ -1,0 +1,130 @@
+package mapper
+
+import (
+	"fmt"
+
+	"snowbma/internal/bdd"
+	"snowbma/internal/boolfn"
+	"snowbma/internal/netlist"
+)
+
+// VerifyFormal proves functional equivalence of the mapping: for every
+// mapped root, the source netlist cone and the composed LUT network are
+// built as BDDs over the shared terminal variables (primary inputs,
+// flip-flop outputs, BRAM data ports, carry-chain sums) and compared
+// canonically. Unlike Verify's random simulation, a pass here is a
+// proof. nodeLimit bounds the BDD size (0 for the default); combinational
+// cones of LUT-mapped logic stay small because adders and BRAMs are
+// terminals.
+func (r *Result) VerifyFormal(nodeLimit int) error {
+	n := r.Netlist
+	m := bdd.New(nodeLimit)
+
+	// Assign a BDD variable level to every terminal in id order.
+	levelOf := map[netlist.NodeID]int{}
+	termVar := func(id netlist.NodeID) (bdd.Ref, error) {
+		lvl, ok := levelOf[id]
+		if !ok {
+			lvl = len(levelOf)
+			levelOf[id] = lvl
+		}
+		return m.Var(lvl)
+	}
+
+	// Source-side BDDs for every node, in topological (id) order.
+	src := make([]bdd.Ref, n.NumNodes())
+	for id := 0; id < n.NumNodes(); id++ {
+		nd := &n.Nodes[id]
+		var f bdd.Ref
+		var err error
+		switch nd.Op {
+		case netlist.OpConst0:
+			f = m.Const(false)
+		case netlist.OpConst1:
+			f = m.Const(true)
+		case netlist.OpPI, netlist.OpFFQ, netlist.OpBRAMOut, netlist.OpAdderOut:
+			f, err = termVar(netlist.NodeID(id))
+		case netlist.OpAnd:
+			f, err = m.And(src[nd.Fanin[0]], src[nd.Fanin[1]])
+		case netlist.OpOr:
+			f, err = m.Or(src[nd.Fanin[0]], src[nd.Fanin[1]])
+		case netlist.OpXor:
+			f, err = m.Xor(src[nd.Fanin[0]], src[nd.Fanin[1]])
+		case netlist.OpNot:
+			f, err = m.Not(src[nd.Fanin[0]])
+		case netlist.OpBuf:
+			f = src[nd.Fanin[0]]
+		case netlist.OpMux:
+			f, err = m.Ite(src[nd.Fanin[0]], src[nd.Fanin[1]], src[nd.Fanin[2]])
+		default:
+			return fmt.Errorf("mapper: formal verify: unknown op %v", nd.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("mapper: formal verify (source node %d): %w", id, err)
+		}
+		src[id] = f
+	}
+
+	// Mapped-side BDDs: LUT functions composed over input BDDs. LUTs are
+	// stored in ascending root order, so inputs are always ready.
+	mapped := make(map[netlist.NodeID]bdd.Ref, len(r.LUTs))
+	netBDD := func(id netlist.NodeID) (bdd.Ref, error) {
+		if f, ok := mapped[id]; ok {
+			return f, nil
+		}
+		switch n.Nodes[id].Op {
+		case netlist.OpConst0:
+			return m.Const(false), nil
+		case netlist.OpConst1:
+			return m.Const(true), nil
+		case netlist.OpPI, netlist.OpFFQ, netlist.OpBRAMOut, netlist.OpAdderOut:
+			return termVar(id)
+		}
+		return bdd.False, fmt.Errorf("mapper: formal verify: LUT input %d is an unmapped gate", id)
+	}
+	for _, lut := range r.LUTs {
+		ins := make([]bdd.Ref, len(lut.Inputs))
+		for i, in := range lut.Inputs {
+			f, err := netBDD(in)
+			if err != nil {
+				return err
+			}
+			ins[i] = f
+		}
+		f, err := composeTT(m, lut.Fn, ins)
+		if err != nil {
+			return fmt.Errorf("mapper: formal verify (LUT at %d): %w", lut.Root, err)
+		}
+		mapped[lut.Root] = f
+	}
+
+	for root, f := range mapped {
+		if src[root] != f {
+			name := n.Nodes[root].Name
+			return fmt.Errorf("mapper: formal verification FAILED at net %d (%s)", root, name)
+		}
+	}
+	return nil
+}
+
+// composeTT builds the BDD of a ≤6-input truth table applied to input
+// BDDs, by Shannon expansion over the inputs.
+func composeTT(m *bdd.Manager, tt boolfn.TT, ins []bdd.Ref) (bdd.Ref, error) {
+	var rec func(f boolfn.TT, i int) (bdd.Ref, error)
+	rec = func(f boolfn.TT, i int) (bdd.Ref, error) {
+		if i == len(ins) {
+			// Remaining variables are unused by construction.
+			return m.Const(f&1 == 1), nil
+		}
+		lo, err := rec(f.Cofactor(i, false), i+1)
+		if err != nil {
+			return bdd.False, err
+		}
+		hi, err := rec(f.Cofactor(i, true), i+1)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Ite(ins[i], hi, lo)
+	}
+	return rec(tt, 0)
+}

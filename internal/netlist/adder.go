@@ -1,0 +1,59 @@
+package netlist
+
+import "fmt"
+
+// Adder is a dedicated carry-chain primitive (the CARRY4 analogue of
+// Xilinx slices): it computes Sum = (A + B) mod 2^w without consuming
+// LUTs. Its configuration is part of the slice wiring, not of LUT truth
+// tables, which is why adders never show up in the paper's FINDLUT
+// results — modelling them as a primitive keeps the LUT population
+// faithful to the hardware.
+type Adder struct {
+	Name string
+	A    []NodeID
+	B    []NodeID
+	Sum  []NodeID
+}
+
+// NewAdder declares a carry-chain adder over equal-width operands and
+// returns the sum nets, LSB first. Sum bit i is an OpAdderOut node whose
+// fanins are A[0..i] and B[0..i] (the nets its value depends on), keeping
+// the topological-evaluation property intact.
+func (n *Netlist) NewAdder(name string, a, b Word) Word {
+	if len(a) != len(b) {
+		panic("netlist: NewAdder width mismatch")
+	}
+	addIdx := len(n.Adders)
+	sum := make(Word, len(a))
+	for i := range a {
+		fanin := make([]NodeID, 0, 2*(i+1))
+		fanin = append(fanin, a[:i+1]...)
+		fanin = append(fanin, b[:i+1]...)
+		sum[i] = n.addNode(Node{
+			Op:    OpAdderOut,
+			Fanin: fanin,
+			Aux:   int32(addIdx)<<8 | int32(i),
+			Name:  fmt.Sprintf("%s[%d]", name, i),
+		})
+	}
+	n.Adders = append(n.Adders, Adder{
+		Name: name,
+		A:    append(Word(nil), a...),
+		B:    append(Word(nil), b...),
+		Sum:  sum,
+	})
+	return sum
+}
+
+// adderBit evaluates sum bit `bit` of adder ad given a net-value reader.
+func adderBit(ad *Adder, bit int, val func(NodeID) bool) bool {
+	carry := false
+	for i := 0; i <= bit; i++ {
+		av, bv := val(ad.A[i]), val(ad.B[i])
+		if i == bit {
+			return av != bv != carry
+		}
+		carry = (av && bv) || (carry && (av != bv))
+	}
+	panic("unreachable")
+}

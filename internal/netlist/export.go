@@ -1,0 +1,104 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT emits the network in Graphviz DOT form for inspection. Large
+// networks render poorly; the intended use is debugging small cones, so
+// WriteDOTCone is usually preferable.
+func (n *Netlist) WriteDOT(w io.Writer, title string) error {
+	ids := make([]NodeID, len(n.Nodes))
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	return n.writeDOT(w, title, ids)
+}
+
+// WriteDOTCone emits only the transitive fanin cone of root.
+func (n *Netlist) WriteDOTCone(w io.Writer, title string, root NodeID) error {
+	return n.writeDOT(w, title, n.TrFanin(root))
+}
+
+func (n *Netlist) writeDOT(w io.Writer, title string, ids []NodeID) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", title); err != nil {
+		return err
+	}
+	in := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		in[id] = true
+	}
+	for _, id := range ids {
+		nd := n.Nodes[id]
+		label := nd.Op.String()
+		if nd.Name != "" {
+			label = fmt.Sprintf("%s\\n%s", nd.Name, nd.Op)
+		}
+		shape := "box"
+		switch nd.Op {
+		case OpPI, OpFFQ, OpBRAMOut, OpConst0, OpConst1:
+			shape = "ellipse"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\" shape=%s];\n", id, label, shape); err != nil {
+			return err
+		}
+		for _, f := range nd.Fanin {
+			if in[f] {
+				if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", f, id); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteStructural emits a human-readable structural listing, one net per
+// line, resembling a flattened structural HDL. It is deterministic and
+// used in golden tests.
+func (n *Netlist) WriteStructural(w io.Writer) error {
+	for id, nd := range n.Nodes {
+		var line string
+		switch nd.Op {
+		case OpConst0, OpConst1, OpPI:
+			line = fmt.Sprintf("n%d = %s %s", id, nd.Op, nd.Name)
+		case OpFFQ:
+			init := "init0"
+			if n.FFs[nd.Aux].Init {
+				init = "init1"
+			}
+			line = fmt.Sprintf("n%d = ffq %s %s", id, nd.Name, init)
+		case OpBRAMOut:
+			line = fmt.Sprintf("n%d = bram[%d].bit%d %s", id, nd.Aux>>8, nd.Aux&0xff, nd.Name)
+		default:
+			args := make([]string, len(nd.Fanin))
+			for i, f := range nd.Fanin {
+				args[i] = fmt.Sprintf("n%d", f)
+			}
+			line = fmt.Sprintf("n%d = %s(%s)", id, nd.Op, strings.Join(args, ", "))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	for _, ff := range n.FFs {
+		if ff.D == Invalid {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "ff n%d <= n%d\n", ff.Q, ff.D); err != nil {
+			return err
+		}
+	}
+	names := n.OutputNames()
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "output %s = n%d\n", name, n.POs[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package netlist
+
+import "fmt"
+
+// Sim is a cycle-accurate two-phase simulator: Step evaluates all
+// combinational logic for the current register state and inputs, then
+// commits the next flip-flop state. Values persist between steps so
+// outputs can be probed after each cycle.
+type Sim struct {
+	n      *Netlist
+	values []bool
+	regs   []bool
+	inputs map[NodeID]bool
+}
+
+// NewSim validates the netlist and prepares a simulator with registers in
+// their reset state.
+func NewSim(n *Netlist) (*Sim, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		n:      n,
+		values: make([]bool, len(n.Nodes)),
+		regs:   make([]bool, len(n.FFs)),
+		inputs: make(map[NodeID]bool),
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset restores every flip-flop to its init value.
+func (s *Sim) Reset() {
+	for i, ff := range s.n.FFs {
+		s.regs[i] = ff.Init
+	}
+}
+
+// SetInput assigns a primary input for subsequent steps.
+func (s *Sim) SetInput(id NodeID, v bool) {
+	if s.n.Nodes[id].Op != OpPI {
+		panic(fmt.Sprintf("netlist: SetInput on non-PI node %d", id))
+	}
+	s.inputs[id] = v
+}
+
+// SetInputWord assigns a whole input word from the bits of v.
+func (s *Sim) SetInputWord(w Word, v uint64) {
+	for i, id := range w {
+		s.SetInput(id, v>>uint(i)&1 == 1)
+	}
+}
+
+// eval computes all node values for the current inputs and register state.
+func (s *Sim) eval() {
+	nodes := s.n.Nodes
+	vals := s.values
+	for id := range nodes {
+		nd := &nodes[id]
+		switch nd.Op {
+		case OpConst0:
+			vals[id] = false
+		case OpConst1:
+			vals[id] = true
+		case OpPI:
+			vals[id] = s.inputs[NodeID(id)]
+		case OpFFQ:
+			vals[id] = s.regs[nd.Aux]
+		case OpBRAMOut:
+			ram := &s.n.BRAMs[nd.Aux>>8]
+			bit := uint(nd.Aux & 0xff)
+			addr := 0
+			for i, a := range nd.Fanin {
+				if vals[a] {
+					addr |= 1 << uint(i)
+				}
+			}
+			vals[id] = ram.Content[addr]>>bit&1 == 1
+		case OpAdderOut:
+			ad := &s.n.Adders[nd.Aux>>8]
+			vals[id] = adderBit(ad, int(nd.Aux&0xff), func(x NodeID) bool { return vals[x] })
+		case OpAnd:
+			vals[id] = vals[nd.Fanin[0]] && vals[nd.Fanin[1]]
+		case OpOr:
+			vals[id] = vals[nd.Fanin[0]] || vals[nd.Fanin[1]]
+		case OpXor:
+			vals[id] = vals[nd.Fanin[0]] != vals[nd.Fanin[1]]
+		case OpNot:
+			vals[id] = !vals[nd.Fanin[0]]
+		case OpBuf:
+			vals[id] = vals[nd.Fanin[0]]
+		case OpMux:
+			if vals[nd.Fanin[0]] {
+				vals[id] = vals[nd.Fanin[1]]
+			} else {
+				vals[id] = vals[nd.Fanin[2]]
+			}
+		default:
+			panic(fmt.Sprintf("netlist: unknown op %v in simulation", nd.Op))
+		}
+	}
+}
+
+// Step runs one clock cycle: evaluate, then latch flip-flop inputs.
+func (s *Sim) Step() {
+	s.eval()
+	for i := range s.n.FFs {
+		s.regs[i] = s.values[s.n.FFs[i].D]
+	}
+}
+
+// Settle evaluates combinational logic without clocking registers,
+// letting callers probe Moore outputs for the current state.
+func (s *Sim) Settle() { s.eval() }
+
+// Value returns the value of a node after the last eval.
+func (s *Sim) Value(id NodeID) bool { return s.values[id] }
+
+// Output returns the named primary output after the last eval.
+func (s *Sim) Output(name string) bool {
+	id, ok := s.n.POs[name]
+	if !ok {
+		panic(fmt.Sprintf("netlist: unknown output %q", name))
+	}
+	return s.values[id]
+}
+
+// OutputWord gathers w bits named name[i] into an integer.
+func (s *Sim) OutputWord(name string, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		if s.Output(fmt.Sprintf("%s[%d]", name, i)) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// WordValue gathers the value of an arbitrary word of nets.
+func (s *Sim) WordValue(w Word) uint64 {
+	var v uint64
+	for i, id := range w {
+		if s.values[id] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// RegState returns a copy of the flip-flop state for instrumentation.
+func (s *Sim) RegState() []bool { return append([]bool(nil), s.regs...) }

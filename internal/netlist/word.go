@@ -1,0 +1,144 @@
+package netlist
+
+import "fmt"
+
+// Word is a little-endian vector of nets: Word[0] is bit 0 (LSB). The
+// SNOW 3G datapath is 32 bits wide, but the helpers are width-generic so
+// tests can exercise reduced widths.
+type Word []NodeID
+
+// InputWord declares w primary inputs named name[0..w-1].
+func (n *Netlist) InputWord(name string, w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = n.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return out
+}
+
+// FFWord declares a register of w flip-flops and returns their Q nets.
+func (n *Netlist) FFWord(name string, w int, init uint64) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = n.NewFF(fmt.Sprintf("%s[%d]", name, i), init>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// ConnectWord wires register q (built with FFWord) to data d.
+func (n *Netlist) ConnectWord(q, d Word) {
+	if len(q) != len(d) {
+		panic("netlist: ConnectWord width mismatch")
+	}
+	for i := range q {
+		n.ConnectFF(q[i], d[i])
+	}
+}
+
+// ConstWord returns w constant nets encoding v.
+func (n *Netlist) ConstWord(v uint64, w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = n.Const(v>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// XorWord returns the bitwise XOR of a and b.
+func (n *Netlist) XorWord(a, b Word) Word {
+	if len(a) != len(b) {
+		panic("netlist: XorWord width mismatch")
+	}
+	out := make(Word, len(a))
+	for i := range out {
+		out[i] = n.Xor(a[i], b[i])
+	}
+	return out
+}
+
+// AndWordBit gates every bit of a with the control net s.
+func (n *Netlist) AndWordBit(a Word, s NodeID) Word {
+	out := make(Word, len(a))
+	for i := range out {
+		out[i] = n.And(a[i], s)
+	}
+	return out
+}
+
+// NotWord inverts every bit.
+func (n *Netlist) NotWord(a Word) Word {
+	out := make(Word, len(a))
+	for i := range out {
+		out[i] = n.Not(a[i])
+	}
+	return out
+}
+
+// MuxWord selects a (s=1) or b (s=0) bitwise.
+func (n *Netlist) MuxWord(s NodeID, a, b Word) Word {
+	if len(a) != len(b) {
+		panic("netlist: MuxWord width mismatch")
+	}
+	out := make(Word, len(a))
+	for i := range out {
+		out[i] = n.Mux(s, a[i], b[i])
+	}
+	return out
+}
+
+// AddWord builds a ripple-carry adder modulo 2^w (the ⊞ of SNOW 3G).
+// Sum and carry are expressed through 2-input gates so the technology
+// mapper sees ordinary logic.
+func (n *Netlist) AddWord(a, b Word) Word {
+	if len(a) != len(b) {
+		panic("netlist: AddWord width mismatch")
+	}
+	out := make(Word, len(a))
+	carry := n.Const(false)
+	for i := range a {
+		axb := n.Xor(a[i], b[i])
+		out[i] = n.Xor(axb, carry)
+		// carry' = a·b + carry·(a ⊕ b)
+		carry = n.Or(n.And(a[i], b[i]), n.And(carry, axb))
+	}
+	return out
+}
+
+// ShiftLeftBytes returns a shifted left by k bytes with zero fill, the
+// "byte shift to the left" of the α⊙ operation.
+func (n *Netlist) ShiftLeftBytes(a Word, k int) Word {
+	out := make(Word, len(a))
+	for i := range out {
+		src := i - 8*k
+		if src >= 0 {
+			out[i] = a[src]
+		} else {
+			out[i] = n.Const(false)
+		}
+	}
+	return out
+}
+
+// ShiftRightBytes returns a shifted right by k bytes with zero fill.
+func (n *Netlist) ShiftRightBytes(a Word, k int) Word {
+	out := make(Word, len(a))
+	for i := range out {
+		src := i + 8*k
+		if src < len(a) {
+			out[i] = a[src]
+		} else {
+			out[i] = n.Const(false)
+		}
+	}
+	return out
+}
+
+// Byte extracts byte k (bits 8k..8k+7) of the word.
+func (w Word) Byte(k int) Word { return w[8*k : 8*k+8] }
+
+// OutputWord registers every bit of a word as a named primary output.
+func (n *Netlist) OutputWord(name string, w Word) {
+	for i, b := range w {
+		n.Output(fmt.Sprintf("%s[%d]", name, i), b)
+	}
+}

@@ -1,0 +1,145 @@
+// Package report renders the attack artefacts — keystream tables,
+// candidate counts, recovered state, timing paths — as deterministic
+// text. The CLI prints these renderings and the test suite pins the
+// end-to-end attack output against a golden report.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"snowbma/internal/boolfn"
+	"snowbma/internal/core"
+	"snowbma/internal/mapper"
+)
+
+// Keystream renders keystream words in the paper's table layout.
+func Keystream(z []uint32) string {
+	var b strings.Builder
+	for i, w := range z {
+		fmt.Fprintf(&b, "  z%-2d %08x\n", i+1, w)
+	}
+	return b.String()
+}
+
+// CandidateTable renders Table II / Table VI rows.
+func CandidateTable(rows []core.CandidateCount) string {
+	var b strings.Builder
+	b.WriteString("output | function                         | n\n")
+	b.WriteString("-------+----------------------------------+----\n")
+	for _, r := range rows {
+		out := "z_t"
+		if r.Path == "s15" {
+			out = "s15"
+		}
+		fmt.Fprintf(&b, "%-6s | %-32s | %d\n", out, r.Name+" = "+r.Expr, r.Count)
+	}
+	return b.String()
+}
+
+// State renders an LFSR state in the Table V layout.
+func State(s [16]uint32) string {
+	var b strings.Builder
+	for i, w := range s {
+		fmt.Fprintf(&b, "  s%-2d %08x\n", i, w)
+	}
+	return b.String()
+}
+
+// Attack renders the complete attack report.
+func Attack(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "encrypted image:       %v\n", rep.Encrypted)
+	fmt.Fprintf(&b, "bitstream loads:       %d\n", rep.Loads)
+	fmt.Fprintf(&b, "confirmed target LUTs: %d LUT1 + %d LUT2 + %d LUT3\n",
+		len(rep.LUT1), len(rep.LUT2), len(rep.LUT3))
+	fmt.Fprintf(&b, "MUX hypothesis:        %s (%d LUTs modified for fault beta)\n",
+		rep.MuxHypothesis, rep.MuxMatches)
+	b.WriteString("key-independent keystream (Table III analogue):\n")
+	b.WriteString(Keystream(rep.KeyIndependent))
+	b.WriteString("faulty keystream (Table IV analogue):\n")
+	b.WriteString(Keystream(rep.FaultyFinal))
+	b.WriteString("recovered initial LFSR state S0 (Table V analogue):\n")
+	b.WriteString(State(rep.RecoveredS0))
+	fmt.Fprintf(&b, "RECOVERED KEY: %08x %08x %08x %08x (verified=%v)\n",
+		rep.Key[0], rep.Key[1], rep.Key[2], rep.Key[3], rep.Verified)
+	fmt.Fprintf(&b, "RECOVERED IV:  %08x %08x %08x %08x\n",
+		rep.IV[0], rep.IV[1], rep.IV[2], rep.IV[3])
+	return b.String()
+}
+
+// Timing renders a slowest-paths table.
+func Timing(paths []mapper.PathReport) string {
+	var b strings.Builder
+	b.WriteString("rank | delay    | levels | endpoint\n")
+	for i, p := range paths {
+		fmt.Fprintf(&b, "%4d | %6.3f ns | %6d | %s\n", i+1, p.Delay, p.Levels, p.Endpoint)
+	}
+	return b.String()
+}
+
+// Census renders the XOR-structured class shortlist.
+func Census(classes []core.CensusClass) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d XOR-structured LUT classes:\n", len(classes))
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %4d x %s  (xor groups %v)\n", c.Count, c.Expr, c.Groups)
+	}
+	return b.String()
+}
+
+// Diff renders a differential-analysis report.
+func Diff(d *core.DiffReport) string {
+	var b strings.Builder
+	b.WriteString("differing bytes by region:\n")
+	for _, region := range []core.DiffRegion{core.DiffPackets, core.DiffHeaderFrame,
+		core.DiffCLB, core.DiffDescription, core.DiffBRAM} {
+		if n := d.Bytes[region]; n > 0 {
+			fmt.Fprintf(&b, "  %-12s %d\n", region, n)
+		}
+	}
+	if len(d.LUTSlots) > 0 {
+		fmt.Fprintf(&b, "modified LUT slots: %d\n", len(d.LUTSlots))
+	}
+	if len(d.BRAMOffsets) > 0 {
+		fmt.Fprintf(&b, "modified BRAM bytes: %d\n", len(d.BRAMOffsets))
+	}
+	return b.String()
+}
+
+// Overlaps renders the Section VI-C.2 candidate-overlap analysis.
+func Overlaps(rows []core.OverlapRow) string {
+	if len(rows) == 0 {
+		return "no overlapping candidate sets\n"
+	}
+	var b strings.Builder
+	b.WriteString("candidate pairs sharing byte positions (artifact indicator):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s (%d) ~ %s (%d): %d shared\n", r.A, r.ACount, r.B, r.BCount, r.Shared)
+	}
+	return b.String()
+}
+
+// Fig5 renders the identified cover structure of the target node v — the
+// textual analogue of the paper's Fig 5: which LUT implements which
+// function on which path, per keystream bit.
+func Fig5(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LUT1 — z_t path, %d instances of f2 = %s\n",
+		len(rep.LUT1), boolfn.Minimize(boolfn.F2))
+	for _, c := range rep.LUT1 {
+		fmt.Fprintf(&b, "  bit %2d: byte index %6d, %s, s0 on XOR pin %d\n",
+			c.Bit, c.Match.Index, c.Match.Order, c.KeepVar+1)
+	}
+	fmt.Fprintf(&b, "LUT2 — feedback path, %d instances of f8 = %s\n",
+		len(rep.LUT2), boolfn.Minimize(boolfn.F8))
+	for _, m := range rep.LUT2 {
+		fmt.Fprintf(&b, "  byte index %6d, %s\n", m.Index, m.Order)
+	}
+	fmt.Fprintf(&b, "LUT3 — feedback path (shifted byte), %d instances of f19 = %s\n",
+		len(rep.LUT3), boolfn.Minimize(boolfn.F19))
+	for _, m := range rep.LUT3 {
+		fmt.Fprintf(&b, "  byte index %6d, %s\n", m.Index, m.Order)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/core"
+	"snowbma/internal/device"
+	"snowbma/internal/hdl"
+	"snowbma/internal/mapper"
+	"snowbma/internal/snow3g"
+)
+
+// goldenTables pins the keystream sections of the end-to-end attack
+// report bit-for-bit against the paper's Tables III and IV.
+const goldenTables = `key-independent keystream (Table III analogue):
+  z1  a1fb4788
+  z2  e4382f8e
+  z3  3b72471c
+  z4  33ebb59a
+  z5  32ac43c7
+  z6  5eebfd82
+  z7  3a325fd4
+  z8  1e1d7001
+  z9  b7f15767
+  z10 3282c5b0
+  z11 103da78f
+  z12 e42761e4
+  z13 c6ded1bb
+  z14 089fa36c
+  z15 01c7c690
+  z16 bf921256
+faulty keystream (Table IV analogue):
+  z1  3ffe4851
+  z2  35d1c393
+  z3  5914acef
+  z4  e98446cc
+  z5  689782d9
+  z6  8abdb7fc
+  z7  a11b0377
+  z8  5a2dd294
+  z9  5deb29fa
+  z10 c2c6009a
+  z11 a82ee62f
+  z12 925268ed
+  z13 d04e2c33
+  z14 3890311b
+  z15 e8d27b84
+  z16 a70aeeaa
+`
+
+const goldenTail = `RECOVERED KEY: 2bd6459f 82c5b300 952c4910 4881ff48 (verified=true)
+RECOVERED IV:  ea024714 ad5c4d84 df1f9b25 1c0bf45f
+`
+
+func TestGoldenAttackReport(t *testing.T) {
+	key := snow3g.Key{0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48}
+	iv := snow3g.IV{0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F}
+	d := hdl.Build(hdl.Config{Key: key})
+	r, err := mapper.Map(d.N, mapper.Options{K: 6, Boundaries: d.Boundaries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := bitstream.Assemble(d.N, mapper.Pack(r, mapper.PackPolicy{}),
+		bitstream.AssembleOptions{Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := device.New([bitstream.KeySize]byte{})
+	if err := f.Program(img); err != nil {
+		t.Fatal(err)
+	}
+	atk, err := core.NewAttack(f, iv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := atk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Attack(rep)
+	if !strings.Contains(text, goldenTables) {
+		t.Fatalf("report keystream sections diverge from the paper's tables:\n%s", text)
+	}
+	if !strings.HasSuffix(text, goldenTail) {
+		t.Fatalf("report tail diverges:\n%s", text)
+	}
+	if !strings.Contains(text, "32 LUT1 + 24 LUT2 + 8 LUT3") {
+		t.Fatalf("confirmed LUT populations diverge:\n%s", text)
+	}
+}
+
+func TestCandidateTableLayout(t *testing.T) {
+	rows := []core.CandidateCount{
+		{Name: "f2", Path: "zt", Expr: "(a1^a2^a3)a4a5!a6", Count: 42},
+		{Name: "f8", Path: "s15", Expr: "(a1^a2)!a3a4a5 ^ a6", Count: 24},
+	}
+	text := CandidateTable(rows)
+	if !strings.Contains(text, "z_t    | f2 = (a1^a2^a3)a4a5!a6") ||
+		!strings.Contains(text, "s15    | f8 = (a1^a2)!a3a4a5 ^ a6") {
+		t.Fatalf("layout broken:\n%s", text)
+	}
+}
+
+func TestTimingLayout(t *testing.T) {
+	text := Timing([]mapper.PathReport{
+		{Delay: 6.313, Levels: 4, Endpoint: "FF R2[0]"},
+		{Delay: 5.2, Levels: 3, Endpoint: "FF s15[0]"},
+	})
+	if !strings.Contains(text, " 6.313 ns") || !strings.Contains(text, "FF s15[0]") {
+		t.Fatalf("timing layout broken:\n%s", text)
+	}
+}
+
+func TestCensusAndDiffRendering(t *testing.T) {
+	censusText := Census([]core.CensusClass{
+		{Count: 32, Expr: "a1a2' + a1'a2", Groups: [][]int{{0, 1}}},
+	})
+	if !strings.Contains(censusText, "32 x a1a2'") {
+		t.Fatalf("census layout broken:\n%s", censusText)
+	}
+	diffText := Diff(&core.DiffReport{
+		Bytes:       map[core.DiffRegion]int{core.DiffBRAM: 4, core.DiffPackets: 4},
+		BRAMOffsets: []int{7, 8, 9, 10},
+	})
+	if !strings.Contains(diffText, "bram") || !strings.Contains(diffText, "modified BRAM bytes: 4") {
+		t.Fatalf("diff layout broken:\n%s", diffText)
+	}
+	if got := Overlaps(nil); !strings.Contains(got, "no overlapping") {
+		t.Fatalf("empty overlap rendering: %q", got)
+	}
+	rows := Overlaps([]core.OverlapRow{{A: "f19", B: "f21", Shared: 2, ACount: 8, BCount: 2}})
+	if !strings.Contains(rows, "f19 (8) ~ f21 (2): 2 shared") {
+		t.Fatalf("overlap layout broken:\n%s", rows)
+	}
+}
+
+func TestFig5Rendering(t *testing.T) {
+	rep := &core.Report{
+		LUT1: []core.ConfirmedLUT{{Bit: 0, KeepVar: 2,
+			Match: core.Match{Index: 1234, Perm: []int{0, 1, 2, 3, 4, 5}}}},
+		LUT2: []core.Match{{Index: 5678}},
+		LUT3: []core.Match{{Index: 9012}},
+	}
+	text := Fig5(rep)
+	for _, want := range []string{"LUT1", "LUT2", "LUT3", "1234", "5678", "9012", "s0 on XOR pin 3"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Fig5 missing %q:\n%s", want, text)
+		}
+	}
+}

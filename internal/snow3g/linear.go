@@ -1,0 +1,70 @@
+package snow3g
+
+import (
+	"snowbma/internal/gf2"
+)
+
+// Linear-algebra view of the faulted cipher: with the FSM disconnected,
+// one LFSR step is a linear map L on GF(2)^512. This file builds L as an
+// explicit matrix and re-derives the key extraction by matrix inversion
+// — the textbook route of the paper's reference [45] — cross-checking
+// the byte-table rewind of StepBack.
+
+// StateBits is the LFSR state size in bits.
+const StateBits = 16 * 32
+
+// StateToVec packs a state into a GF(2) vector: bit 32·i + b carries bit
+// b of stage s_i.
+func StateToVec(s State) gf2.Vec {
+	v := gf2.NewVec(StateBits)
+	for i, word := range s {
+		for b := 0; b < 32; b++ {
+			if word>>uint(b)&1 == 1 {
+				v.Set(32*i+b, true)
+			}
+		}
+	}
+	return v
+}
+
+// VecToState unpacks a GF(2) vector into an LFSR state.
+func VecToState(v gf2.Vec) State {
+	var s State
+	for i := range s {
+		for b := 0; b < 32; b++ {
+			if v.Get(32*i + b) {
+				s[i] |= 1 << uint(b)
+			}
+		}
+	}
+	return s
+}
+
+// UpdateMatrix returns the 512×512 matrix of the linear LFSR step L
+// (keystream mode, FSM output excluded).
+func UpdateMatrix() *gf2.Matrix {
+	return gf2.FromFunc(StateBits, func(v gf2.Vec) gf2.Vec {
+		return StateToVec(StepForward(VecToState(v)))
+	})
+}
+
+// RecoverFromKeystreamMatrix performs the paper's key extraction through
+// explicit matrix algebra: S⁰ = (L⁻¹)³³ · S³³. It must agree bit for bit
+// with RecoverFromKeystream.
+func RecoverFromKeystreamMatrix(z []uint32) (Key, IV, State, error) {
+	if len(z) < 16 {
+		return Key{}, IV{}, State{}, errShortKeystream(len(z))
+	}
+	var s33 State
+	copy(s33[:], z[:16])
+	l := UpdateMatrix()
+	inv, err := l.Inverse()
+	if err != nil {
+		return Key{}, IV{}, State{}, err
+	}
+	s0 := VecToState(inv.Pow(33).MulVec(StateToVec(s33)))
+	if !ConsistentGamma(s0) {
+		return Key{}, IV{}, s0, errNotGamma
+	}
+	return KeyFromState(s0), IVFromState(s0), s0, nil
+}

@@ -1,0 +1,190 @@
+package snow3g
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestF8RoundTrip(t *testing.T) {
+	var ck ConfidentialityKey
+	for i := range ck {
+		ck[i] = byte(i * 17)
+	}
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	buf := append([]byte(nil), msg...)
+	F8(ck, 0x38A6F056, 0x1C, 1, buf, len(buf)*8)
+	if bytes.Equal(buf, msg) {
+		t.Fatal("f8 did not change the plaintext")
+	}
+	F8(ck, 0x38A6F056, 0x1C, 1, buf, len(buf)*8)
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("f8 applied twice did not restore the plaintext")
+	}
+}
+
+func TestF8ParametersMatter(t *testing.T) {
+	var ck ConfidentialityKey
+	base := make([]byte, 32)
+	enc := func(count, bearer, dir uint32) []byte {
+		buf := append([]byte(nil), base...)
+		F8(ck, count, bearer, dir, buf, len(buf)*8)
+		return buf
+	}
+	ref := enc(1, 2, 0)
+	for name, got := range map[string][]byte{
+		"count":     enc(2, 2, 0),
+		"bearer":    enc(1, 3, 0),
+		"direction": enc(1, 2, 1),
+	} {
+		if bytes.Equal(ref, got) {
+			t.Errorf("changing %s did not change the f8 keystream", name)
+		}
+	}
+}
+
+func TestF8PartialBits(t *testing.T) {
+	var ck ConfidentialityKey
+	buf := make([]byte, 4)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	F8(ck, 7, 1, 0, buf, 13) // only the first 13 bits are processed
+	if buf[2] != 0xFF || buf[3] != 0xFF {
+		t.Fatal("f8 touched bytes beyond the bit length")
+	}
+	if buf[1]&0x07 != 0 {
+		t.Fatal("f8 did not mask the tail bits of the last byte")
+	}
+}
+
+func TestF8KeyBytesRoundTrip(t *testing.T) {
+	f := func(raw [4]uint32) bool {
+		k := Key(raw)
+		return keyFromBytes(KeyToBytes(k)) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64FieldAxioms(t *testing.T) {
+	// GF(2^64) multiplication must be commutative, associative and
+	// distributive over XOR, with 1 as identity.
+	comm := func(a, b uint64) bool { return Mul64(a, b) == Mul64(b, a) }
+	if err := quick.Check(comm, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal("commutativity:", err)
+	}
+	assoc := func(a, b, c uint64) bool {
+		return Mul64(Mul64(a, b), c) == Mul64(a, Mul64(b, c))
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal("associativity:", err)
+	}
+	dist := func(a, b, c uint64) bool {
+		return Mul64(a^b, c) == Mul64(a, c)^Mul64(b, c)
+	}
+	if err := quick.Check(dist, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal("distributivity:", err)
+	}
+	ident := func(a uint64) bool { return Mul64(a, 1) == a }
+	if err := quick.Check(ident, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal("identity:", err)
+	}
+	if Mul64(0x8000000000000000, 2) != 0x1B {
+		t.Fatal("reduction polynomial wrong: x^63·x should reduce to 0x1B")
+	}
+}
+
+func TestF9Deterministic(t *testing.T) {
+	var ik IntegrityKey
+	msg := []byte("signalling message")
+	a := F9(ik, 1, 2, 0, msg, len(msg)*8)
+	b := F9(ik, 1, 2, 0, msg, len(msg)*8)
+	if a != b {
+		t.Fatal("f9 not deterministic")
+	}
+}
+
+func TestF9SensitiveToEveryInput(t *testing.T) {
+	var ik IntegrityKey
+	for i := range ik {
+		ik[i] = byte(0x30 + i)
+	}
+	msg := make([]byte, 24)
+	ref := F9(ik, 5, 6, 0, msg, len(msg)*8)
+	ik2 := ik
+	ik2[3] ^= 1
+	if F9(ik2, 5, 6, 0, msg, len(msg)*8) == ref {
+		t.Error("f9 insensitive to key")
+	}
+	if F9(ik, 6, 6, 0, msg, len(msg)*8) == ref {
+		t.Error("f9 insensitive to COUNT")
+	}
+	if F9(ik, 5, 7, 0, msg, len(msg)*8) == ref {
+		t.Error("f9 insensitive to FRESH")
+	}
+	if F9(ik, 5, 6, 1, msg, len(msg)*8) == ref {
+		t.Error("f9 insensitive to DIRECTION")
+	}
+	msg2 := append([]byte(nil), msg...)
+	msg2[11] ^= 0x80
+	if F9(ik, 5, 6, 0, msg2, len(msg2)*8) == ref {
+		t.Error("f9 insensitive to a message bit")
+	}
+	if F9(ik, 5, 6, 0, msg, len(msg)*8-1) == ref {
+		t.Error("f9 insensitive to the message length")
+	}
+}
+
+func TestF9BitFlipAvalanche(t *testing.T) {
+	// Random single-bit flips must change the MAC (probabilistic, but a
+	// collision at 2^-32 per trial would indicate a structural bug).
+	var ik IntegrityKey
+	rng := rand.New(rand.NewSource(44))
+	msg := make([]byte, 64)
+	rng.Read(msg)
+	ref := F9(ik, 9, 9, 1, msg, len(msg)*8)
+	for trial := 0; trial < 64; trial++ {
+		pos := rng.Intn(len(msg) * 8)
+		mod := append([]byte(nil), msg...)
+		mod[pos/8] ^= 1 << (7 - pos%8)
+		if F9(ik, 9, 9, 1, mod, len(mod)*8) == ref {
+			t.Fatalf("bit flip at %d left MAC unchanged", pos)
+		}
+	}
+}
+
+func BenchmarkF8Encrypt1KiB(b *testing.B) {
+	var ck ConfidentialityKey
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		F8(ck, uint32(i), 3, 0, buf, len(buf)*8)
+	}
+}
+
+func BenchmarkF9MAC1KiB(b *testing.B) {
+	var ik IntegrityKey
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		F9(ik, uint32(i), 7, 1, buf, len(buf)*8)
+	}
+}
+
+func TestKeyFromBytesEndianness(t *testing.T) {
+	var ck [16]byte
+	for i := range ck {
+		ck[i] = byte(i)
+	}
+	k := KeyFromBytes(ck)
+	// First four bytes form k3 (most significant word), big endian.
+	if k[3] != 0x00010203 || k[0] != 0x0C0D0E0F {
+		t.Fatalf("KeyFromBytes = %08x", k)
+	}
+	if KeyToBytes(k) != ck {
+		t.Fatal("KeyToBytes does not invert KeyFromBytes")
+	}
+}

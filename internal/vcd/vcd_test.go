@@ -1,0 +1,70 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHeaderAndChanges(t *testing.T) {
+	var buf bytes.Buffer
+	w := New(&buf, "dut", []string{"clk_q", "z0"})
+	if err := w.Tick([]bool{false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Tick([]bool{false, true}); err != nil { // no change
+		t.Fatal(err)
+	}
+	if err := w.Tick([]bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module dut $end",
+		"$var wire 1 ! clk_q $end",
+		"$var wire 1 \" z0 $end",
+		"$enddefinitions $end",
+		"#0\n0!\n1\"",
+		"#2\n1!\n0\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Time #1 must be absent: nothing changed there.
+	if strings.Contains(out, "#1\n") {
+		t.Error("VCD emitted an empty timestep")
+	}
+}
+
+func TestIdentifierUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 20000; i++ {
+		id := identifier(i)
+		if seen[id] {
+			t.Fatalf("identifier collision at %d: %q", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTickErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := New(&buf, "m", []string{"a"})
+	if err := w.Tick([]bool{true, false}); err == nil {
+		t.Fatal("accepted wrong value count")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Tick([]bool{true}); err == nil {
+		t.Fatal("accepted Tick after Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+}

@@ -1,0 +1,280 @@
+// Package snowbma is a full reproduction of "Bitstream Modification
+// Attack on SNOW 3G" (Moraitis & Dubrova, DATE 2020) as a Go library.
+//
+// It contains every system the paper's experiments rest on — the SNOW 3G
+// cipher, a gate-level RTL generator, a k-LUT technology mapper, the
+// Xilinx 7-series bitstream format, a device simulator that configures
+// itself from raw bitstream bytes — plus the paper's contribution: the
+// FINDLUT search (Algorithm 1), the key-independent bitstream
+// exploration technique, end-to-end key extraction, and the trivial-cut
+// countermeasure with its complexity analysis.
+//
+// This file is the facade a downstream user works with:
+//
+//	victim, _ := snowbma.BuildVictim(snowbma.VictimConfig{Key: key})
+//	report, _ := snowbma.RunAttack(victim, iv, log.Printf)
+//	fmt.Printf("recovered key %08x\n", report.Key)
+//
+// The sub-packages under internal/ carry the implementation; their doc
+// comments map each module to the paper sections it reproduces (see
+// DESIGN.md for the inventory).
+package snowbma
+
+import (
+	"fmt"
+	"strings"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+	"snowbma/internal/core"
+	"snowbma/internal/device"
+	"snowbma/internal/hdl"
+	"snowbma/internal/mapper"
+	"snowbma/internal/snow3g"
+)
+
+// Key is a 128-bit SNOW 3G key as four 32-bit words k0..k3 (the paper's
+// order: γ loads s4 = k0, ..., s7 = k3).
+type Key = snow3g.Key
+
+// IV is a 128-bit initialization vector as four 32-bit words iv0..iv3.
+type IV = snow3g.IV
+
+// PaperKey is the key recovered in the paper's Table V — the ETSI
+// SNOW 3G test-set key.
+var PaperKey = Key{0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48}
+
+// PaperIV is the IV implied by Table V through the γ(K, IV) structure.
+var PaperIV = IV{0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F}
+
+// Keystream runs the reference software cipher (the paper's "software
+// model") and returns n keystream words.
+func Keystream(key Key, iv IV, n int) []uint32 {
+	c := snow3g.New(snow3g.Fault{})
+	c.Init(key, iv)
+	return c.KeystreamWords(n)
+}
+
+// FaultyKeystream runs the software model with the paper's fault
+// configuration (used to predict Tables III and IV).
+func FaultyKeystream(key Key, iv IV, fsmStuckInit, fsmStuckKeystream, lfsrZero bool, n int) []uint32 {
+	c := snow3g.New(snow3g.Fault{
+		FSMStuckInit:      fsmStuckInit,
+		FSMStuckKeystream: fsmStuckKeystream,
+		LFSRZeroLoad:      lfsrZero,
+	})
+	c.Init(key, iv)
+	return c.KeystreamWords(n)
+}
+
+// VictimConfig describes the FPGA implementation to synthesize.
+type VictimConfig struct {
+	// Key is baked into the bitstream (attack model assumption 2).
+	Key Key
+	// Protected applies the Section VII-A countermeasure during
+	// technology mapping, with the paper's hand-picked five decoy words.
+	Protected bool
+	// AutoProtectBits, when nonzero, plans the countermeasure
+	// automatically instead: decoy XORs are selected from the design
+	// until the Lemma VII-A bound reaches this security level.
+	AutoProtectBits int
+	// Encrypt wraps the bitstream in the AES + HMAC envelope of Fig. 1
+	// using the given keys (any non-nil value enables encryption).
+	Encrypt *EncryptionKeys
+	// PadFrames adds empty fabric frames (larger bitstream).
+	PadFrames int
+	// Seed drives the deterministic placement (0 picks a default).
+	Seed int64
+}
+
+// EncryptionKeys are the bitstream protection keys: K_E lives in device
+// eFuses, K_A is stored inside the encrypted image (Fig. 1).
+type EncryptionKeys struct {
+	KE [32]byte
+	KA [32]byte
+}
+
+// Victim bundles the simulated device with its design metadata.
+type Victim struct {
+	Device *device.FPGA
+	// Image is the programmed flash content.
+	Image []byte
+	// LUTs is the number of logical LUTs after mapping.
+	LUTs int
+	// Depth is the mapped LUT depth; CriticalPathNs the modelled
+	// critical path (paper Section VII-A compares 6.313 vs 7.514 ns).
+	Depth          int
+	CriticalPathNs float64
+	// CriticalEndpoint names the path endpoint (register or output).
+	CriticalEndpoint string
+}
+
+// BuildVictim synthesizes the SNOW 3G design (RTL generation, technology
+// mapping, placement, bitstream assembly) and programs a simulated FPGA
+// with it.
+func BuildVictim(cfg VictimConfig) (*Victim, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5B0A
+	}
+	d := hdl.Build(hdl.Config{Key: cfg.Key, Protected: cfg.Protected})
+	opts := mapper.Options{K: 6, Boundaries: d.Boundaries}
+	pol := mapper.PackPolicy{}
+	if cfg.Protected {
+		opts.TrivialCuts = d.TrivialCuts
+		pol = mapper.PackPolicy{Prefer: d.TrivialCuts, PairWithOthers: true}
+	}
+	if cfg.AutoProtectBits > 0 {
+		plan, err := mapper.PlanCountermeasure(d.N, d.V, cfg.AutoProtectBits)
+		if err != nil {
+			return nil, fmt.Errorf("snowbma: countermeasure planning: %w", err)
+		}
+		opts.TrivialCuts = plan.TrivialCuts
+		pol = mapper.PackPolicy{Prefer: plan.TrivialCuts, PairWithOthers: true}
+	}
+	r, err := mapper.Map(d.N, opts)
+	if err != nil {
+		return nil, fmt.Errorf("snowbma: mapping: %w", err)
+	}
+	phys := mapper.Pack(r, pol)
+	img, err := bitstream.Assemble(d.N, phys, bitstream.AssembleOptions{
+		Seed: cfg.Seed, PadFrames: cfg.PadFrames,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snowbma: assembly: %w", err)
+	}
+	var kE [bitstream.KeySize]byte
+	if cfg.Encrypt != nil {
+		kE = cfg.Encrypt.KE
+		var cbcIV [16]byte
+		img, err = bitstream.Seal(img, cfg.Encrypt.KE, cfg.Encrypt.KA, cbcIV)
+		if err != nil {
+			return nil, fmt.Errorf("snowbma: sealing: %w", err)
+		}
+	}
+	fpga := device.New(kE)
+	if err := fpga.Program(img); err != nil {
+		return nil, fmt.Errorf("snowbma: programming: %w", err)
+	}
+	timing := r.Timing(mapper.DefaultDelays())
+	return &Victim{
+		Device:           fpga,
+		Image:            img,
+		LUTs:             len(r.LUTs),
+		Depth:            r.Depth,
+		CriticalPathNs:   timing.Delay,
+		CriticalEndpoint: timing.Endpoint,
+	}, nil
+}
+
+// Keystream drives the victim's cipher protocol with the given IV.
+func (v *Victim) Keystream(iv IV, n int) []uint32 {
+	return hdl.GenerateKeystream(v.Device, iv, n)
+}
+
+// Report is the attack outcome (re-exported from the core package).
+type Report = core.Report
+
+// RunAttack executes the complete bitstream modification attack against
+// the victim: probe flash (decrypting via the side-channel oracle when
+// needed), disable the CRC, FINDLUT + verification for the z_t and
+// feedback paths, the key-independent exploration, fault injection and
+// LFSR rewind. logf may be nil.
+func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
+	atk, err := core.NewAttack(v.Device, iv, logf)
+	if err != nil {
+		return nil, err
+	}
+	return atk.Run()
+}
+
+// RunCensusAttack executes the catalogue-free variant: target LUT
+// classes are discovered from the extracted-LUT census by their XOR
+// structure and all fault tables are derived from the class functions —
+// no Table II guessing. See core.RunCensusGuided.
+func RunCensusAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
+	atk, err := core.NewAttack(v.Device, iv, logf)
+	if err != nil {
+		return nil, err
+	}
+	return atk.RunCensusGuided()
+}
+
+// CandidateCount is one row of the Table II / Table VI measurement.
+type CandidateCount = core.CandidateCount
+
+// CountCandidates runs FINDLUT on the victim's bitstream for every
+// Table II candidate function and reports match counts.
+func CountCandidates(v *Victim, iv IV) ([]CandidateCount, error) {
+	atk, err := core.NewAttack(v.Device, iv, nil)
+	if err != nil {
+		return nil, err
+	}
+	return atk.CountCandidates(), nil
+}
+
+// FindFunction searches a raw bitstream for LUTs implementing the
+// Boolean expression (paper notation over a1..a6, e.g.
+// "(a1^a2^a3)a4a5!a6") or a raw INIT literal ("64'hFFF7F7FF00080800"),
+// and returns the byte indexes of all candidates — the tool described in
+// the paper's contribution list.
+func FindFunction(bits []byte, expr string) ([]int, error) {
+	var f boolfn.TT
+	var err error
+	if strings.HasPrefix(expr, "64'h") || strings.HasPrefix(expr, "0x") {
+		f, err = boolfn.ParseInit(expr)
+	} else {
+		f, err = boolfn.Parse(expr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	matches := core.FindLUT(bits, f, core.FindOptions{})
+	out := make([]int, len(matches))
+	for i, m := range matches {
+		out[i] = m.Index
+	}
+	return out, nil
+}
+
+// DualXORHits runs the Section VII-B search over [lo, hi) byte positions
+// (hi ≤ 0 scans to the end): dual-output LUTs with a 2-input XOR in one
+// half.
+func DualXORHits(bits []byte, lo, hi int) []int {
+	return core.FindDualXOR(bits, lo, hi)
+}
+
+// SearchEffortBits returns log2 of the exhaustive effort of locating m
+// targets among m+r identically-shaped candidates (Section VII-C).
+func SearchEffortBits(m, r int) float64 { return core.SearchEffort(m, r) }
+
+// LemmaBoundBits returns the Lemma VII-A upper bound, as log2.
+func LemmaBoundBits(m, r int) float64 { return core.LemmaBound(m, r) }
+
+// MinDecoyRatio returns the smallest x with r = m·x decoys reaching the
+// requested security level (the paper's x ≥ 16/e − 1 ≈ 4.9 for 2¹²⁸).
+func MinDecoyRatio(m, securityBits int) int { return core.MinDecoyRatio(m, securityBits) }
+
+// RecoverKey rewinds a 16-word faulty keystream (FSM output stuck at 0)
+// to the initial LFSR state and extracts the key and IV.
+func RecoverKey(z []uint32) (Key, IV, error) {
+	k, iv, _, err := snow3g.RecoverFromKeystream(z)
+	return k, iv, err
+}
+
+// UEA2Encrypt applies the 3GPP confidentiality function f8 (UEA2 /
+// 128-EEA1, whose core is SNOW 3G — the deployment context the paper's
+// introduction motivates) to data in place. Being a stream cipher, the
+// same call decrypts.
+func UEA2Encrypt(ck [16]byte, count, bearer, direction uint32, data []byte) {
+	snow3g.F8(snow3g.ConfidentialityKey(ck), count, bearer, direction, data, len(data)*8)
+}
+
+// UIA2MAC computes the 3GPP integrity function f9 (UIA2 / 128-EIA1)
+// 32-bit message authentication code.
+func UIA2MAC(ik [16]byte, count, fresh, direction uint32, data []byte) uint32 {
+	return snow3g.F9(snow3g.IntegrityKey(ik), count, fresh, direction, data, len(data)*8)
+}
+
+// CipherKeyToBytes converts a recovered word-form key into the 16-byte
+// 3GPP CK/IK layout (first byte = most significant byte of k3).
+func CipherKeyToBytes(k Key) [16]byte { return snow3g.KeyToBytes(k) }
