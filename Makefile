@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test tier1 race bench fuzz clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the CI gate: clean build, vet, and the full suite under the
+# race detector (the batch scanner and FindDualXOR run worker pools).
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz pass over the scanner differential target.
+fuzz:
+	$(GO) test ./internal/core/ -run FuzzScannerDifferential -fuzz FuzzScannerDifferential -fuzztime 30s
+
+clean:
+	$(GO) clean -testcache

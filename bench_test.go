@@ -213,6 +213,34 @@ func BenchmarkFindLUTParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkScannerBatchVsSequential quantifies the single-pass batch
+// engine: all 21 Table II candidate functions resolved in one shared
+// Scanner walk versus 21 separate FindLUT passes over the same image
+// (what the Table II / Table VI flows cost before the batch engine).
+func BenchmarkScannerBatchVsSequential(b *testing.B) {
+	u, _, _ := fixtures(b)
+	img := u.Device.ReadFlash()
+	cands := boolfn.Candidates()
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(len(img)))
+		for i := 0; i < b.N; i++ {
+			s := core.NewScanner(core.FindOptions{})
+			for _, c := range cands {
+				s.AddFunction(c.Name, c.TT)
+			}
+			s.Scan(img)
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(img)) * int64(len(cands)))
+		for i := 0; i < b.N; i++ {
+			for _, c := range cands {
+				core.FindLUT(img, c.TT, core.FindOptions{})
+			}
+		}
+	})
+}
+
 // BenchmarkKeyIndependentVsBrute contrasts the cost of one probe in the
 // key-independent procedure (a bitstream load + 16 keystream words)
 // against one hypothesis test of the 3^32 brute-force alternative (a

@@ -6,9 +6,9 @@
 //
 //	snowbma synth      [-protected] [-key k0,k1,k2,k3] [-pad N] [-o out.bit]
 //	snowbma attack     [-protected] [-encrypted] [-key ...] [-iv ...] [-v]
-//	snowbma findlut    -bits file [-f expr]
-//	snowbma table2     [-key ...]
-//	snowbma table6     [-key ...]
+//	snowbma findlut    -bits file [-f expr] [-parallel N] [-stats]
+//	snowbma table2     [-key ...] [-stats]
+//	snowbma table6     [-key ...] [-stats]
 //	snowbma keystream  [-key ...] [-iv ...] [-n 16] [-stuck-init] [-stuck-gen] [-zero-lfsr]
 //	snowbma inspect    -bits file
 //	snowbma complexity [-m 32] [-bits 128]
@@ -121,6 +121,32 @@ func parseWords(s string, def [4]uint32) ([4]uint32, error) {
 	return out, nil
 }
 
+// readBitstream loads a bitstream argument, rejecting the two ways a
+// path flag silently produces garbage downstream: an unset -bits flag
+// and an existing-but-empty file (FINDLUT on zero bytes "succeeds" with
+// zero matches, which reads like a clean negative result).
+func readBitstream(cmd, path string) ([]byte, error) {
+	if path == "" {
+		return nil, fmt.Errorf("%s: -bits required (path to a bitstream file)", cmd)
+	}
+	bits, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("%s: %s is empty (0 bytes) — not a bitstream", cmd, path)
+	}
+	return bits, nil
+}
+
+// positive validates an integer flag that must be ≥ 1.
+func positive(cmd, name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s: -%s must be at least 1, got %d", cmd, name, v)
+	}
+	return nil
+}
+
 func keyFlag(fs *flag.FlagSet) *string {
 	return fs.String("key", "", "key words k0,k1,k2,k3 in hex (default: the paper's ETSI test key)")
 }
@@ -137,6 +163,12 @@ func cmdSynth(args []string) error {
 	out := fs.String("o", "snow3g.bit", "output file")
 	keyStr := keyFlag(fs)
 	_ = fs.Parse(args)
+	if *pad < 0 {
+		return fmt.Errorf("synth: -pad must be non-negative, got %d", *pad)
+	}
+	if *autoBits < 0 {
+		return fmt.Errorf("synth: -autoprotect must be non-negative, got %d", *autoBits)
+	}
 	key, err := parseWords(*keyStr, snowbma.PaperKey)
 	if err != nil {
 		return err
@@ -210,15 +242,17 @@ func cmdFindLUT(args []string) error {
 	fs := flag.NewFlagSet("findlut", flag.ExitOnError)
 	file := fs.String("bits", "", "bitstream file")
 	expr := fs.String("f", "(a1^a2^a3)a4a5!a6", "Boolean function over a1..a6, or an INIT literal 64'h...")
+	parallel := fs.Int("parallel", 0, "scan worker goroutines (0 = all CPUs)")
+	stats := fs.Bool("stats", false, "print scan-engine counters")
 	_ = fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("findlut: -bits required")
+	if *parallel < 0 {
+		return fmt.Errorf("findlut: -parallel must be non-negative, got %d (0 means all CPUs)", *parallel)
 	}
-	bits, err := os.ReadFile(*file)
+	bits, err := readBitstream("findlut", *file)
 	if err != nil {
 		return err
 	}
-	hits, err := snowbma.FindFunction(bits, *expr)
+	hits, st, err := snowbma.FindFunctionStats(bits, *expr, *parallel)
 	if err != nil {
 		return err
 	}
@@ -226,12 +260,16 @@ func cmdFindLUT(args []string) error {
 	for _, l := range hits {
 		fmt.Printf("  byte index %d\n", l)
 	}
+	if *stats {
+		fmt.Print(report.ScanStats(st))
+	}
 	return nil
 }
 
 func cmdTable(args []string, protected bool) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	keyStr := keyFlag(fs)
+	stats := fs.Bool("stats", false, "print scan-engine counters")
 	_ = fs.Parse(args)
 	key, err := parseWords(*keyStr, snowbma.PaperKey)
 	if err != nil {
@@ -241,20 +279,24 @@ func cmdTable(args []string, protected bool) error {
 	if err != nil {
 		return err
 	}
-	rows, err := snowbma.CountCandidates(victim, snowbma.PaperIV)
+	rows, scan, err := snowbma.CountCandidatesStats(victim, snowbma.PaperIV)
 	if err != nil {
 		return err
 	}
 	fmt.Print(report.CandidateTable(rows))
 	if protected {
 		flash := victim.Device.ReadFlash()
-		all := snowbma.DualXORHits(flash, 0, 0)
+		all, dualScan := snowbma.DualXORHitsStats(flash, 0, 0)
 		window := snowbma.DualXORHits(flash, 0, 200000)
 		fmt.Printf("\ndual-output XOR search (Section VII-B):\n")
 		fmt.Printf("  unconstrained: %d hits (paper: 481)\n", len(all))
 		fmt.Printf("  first 200000 byte positions: %d hits (paper: 203)\n", len(window))
 		fmt.Printf("  selection effort: 2^%.1f (paper: C(171,32) ≈ 2^115)\n",
 			snowbma.SearchEffortBits(32, len(all)-32))
+		scan.Accumulate(dualScan)
+	}
+	if *stats {
+		fmt.Print(report.ScanStats(scan))
 	}
 	return nil
 }
@@ -268,6 +310,9 @@ func cmdKeystream(args []string) error {
 	stuckGen := fs.Bool("stuck-gen", false, "FSM output stuck at 0 during keystream generation")
 	zeroLFSR := fs.Bool("zero-lfsr", false, "load the all-0 vector instead of γ(K, IV)")
 	_ = fs.Parse(args)
+	if err := positive("keystream", "n", *n); err != nil {
+		return err
+	}
 	key, err := parseWords(*keyStr, snowbma.PaperKey)
 	if err != nil {
 		return err
@@ -285,10 +330,7 @@ func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	file := fs.String("bits", "", "bitstream file")
 	_ = fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("inspect: -bits required")
-	}
-	bits, err := os.ReadFile(*file)
+	bits, err := readBitstream("inspect", *file)
 	if err != nil {
 		return err
 	}
@@ -323,10 +365,7 @@ func cmdExtract(args []string) error {
 	file := fs.String("bits", "", "bitstream file")
 	census := fs.Bool("census", false, "print the P-class census instead of each LUT")
 	_ = fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("extract: -bits required")
-	}
-	bits, err := os.ReadFile(*file)
+	bits, err := readBitstream("extract", *file)
 	if err != nil {
 		return err
 	}
@@ -372,6 +411,9 @@ func cmdTrace(args []string) error {
 	keyStr := keyFlag(fs)
 	ivStr := ivFlag(fs)
 	_ = fs.Parse(args)
+	if err := positive("trace", "n", *n); err != nil {
+		return err
+	}
 	key, err := parseWords(*keyStr, snowbma.PaperKey)
 	if err != nil {
 		return err
@@ -405,10 +447,10 @@ func cmdCensus(args []string) error {
 	file := fs.String("bits", "", "bitstream file")
 	min := fs.Int("min", 8, "minimum class population")
 	_ = fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("census: -bits required")
+	if err := positive("census", "min", *min); err != nil {
+		return err
 	}
-	bits, err := os.ReadFile(*file)
+	bits, err := readBitstream("census", *file)
 	if err != nil {
 		return err
 	}
@@ -484,10 +526,13 @@ func cmdVerify(args []string) error {
 	trials := fs.Int("ivs", 8, "random IVs to compare")
 	keyStr := keyFlag(fs)
 	_ = fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("verify: -bits required")
+	if err := positive("verify", "n", *n); err != nil {
+		return err
 	}
-	bits, err := os.ReadFile(*file)
+	if err := positive("verify", "ivs", *trials); err != nil {
+		return err
+	}
+	bits, err := readBitstream("verify", *file)
 	if err != nil {
 		return err
 	}
@@ -530,6 +575,9 @@ func cmdDiff(args []string) error {
 	b, err := os.ReadFile(*fileB)
 	if err != nil {
 		return err
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return fmt.Errorf("diff: refusing to compare an empty bitstream file")
 	}
 	rep, err := core.Diff(a, b)
 	if err != nil {

@@ -78,6 +78,51 @@ func TestCmdErrors(t *testing.T) {
 	}
 }
 
+func TestCmdFlagValidation(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.bit")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"findlut empty bitstream", func() error { return cmdFindLUT([]string{"-bits", empty}) }},
+		{"inspect empty bitstream", func() error { return cmdInspect([]string{"-bits", empty}) }},
+		{"extract empty bitstream", func() error { return cmdExtract([]string{"-bits", empty}) }},
+		{"census empty bitstream", func() error { return cmdCensus([]string{"-bits", empty}) }},
+		{"verify empty bitstream", func() error { return cmdVerify([]string{"-bits", empty}) }},
+		{"diff empty bitstream", func() error { return cmdDiff([]string{"-a", empty, "-b", empty}) }},
+		{"findlut negative -parallel", func() error {
+			return cmdFindLUT([]string{"-bits", empty, "-parallel", "-3"})
+		}},
+		{"synth negative -pad", func() error { return cmdSynth([]string{"-pad", "-1", "-o", os.DevNull}) }},
+		{"synth negative -autoprotect", func() error {
+			return cmdSynth([]string{"-autoprotect", "-8", "-o", os.DevNull})
+		}},
+		{"keystream zero -n", func() error { return cmdKeystream([]string{"-n", "0"}) }},
+		{"trace zero -n", func() error { return cmdTrace([]string{"-n", "0"}) }},
+		{"census zero -min", func() error { return cmdCensus([]string{"-bits", empty, "-min", "0"}) }},
+		{"verify zero -ivs", func() error { return cmdVerify([]string{"-bits", empty, "-ivs", "0"}) }},
+		{"verify zero -n", func() error { return cmdVerify([]string{"-bits", empty, "-n", "-2"}) }},
+	} {
+		if err := tc.run(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCmdFindLUTStatsAndParallel(t *testing.T) {
+	dir := t.TempDir()
+	bit := filepath.Join(dir, "dut.bit")
+	if err := cmdSynth([]string{"-o", bit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFindLUT([]string{"-bits", bit, "-stats", "-parallel", "2"}); err != nil {
+		t.Fatalf("findlut -stats -parallel 2 failed: %v", err)
+	}
+}
+
 func TestCmdAttackEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("attack CLI test skipped in -short mode")

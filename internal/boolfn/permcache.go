@@ -1,0 +1,94 @@
+package boolfn
+
+import "sync"
+
+// The FINDLUT candidate expansion permutes the target function through
+// all k! = 720 input orders before serializing it into byte patterns.
+// In the multi-bitstream serving scenario the same handful of catalogue
+// functions is expanded over and over for every incoming image, so the
+// permuted-table sets are cached process-wide. The expansion is pure
+// (truth tables are values), which makes the cache a plain memo.
+
+// PermTable is one input-permuted version of a function: the permuted
+// truth table together with the permutation that produced it.
+type PermTable struct {
+	Table TT
+	Perm  []int
+}
+
+type permKey struct {
+	f     TT
+	dedup bool
+}
+
+var (
+	permMu    sync.RWMutex
+	permCache = map[permKey][]PermTable{}
+	permHits  int
+	permMiss  int
+)
+
+// permCacheMax bounds the memo so a server scanning adversarial inputs
+// cannot grow it without limit; past the cap, expansions are computed but
+// not retained.
+const permCacheMax = 1 << 12
+
+// PermutedTables expands f over all 6! input permutations in the
+// deterministic Permutations order. With dedup set, permutations whose
+// permuted truth table was already produced by an earlier permutation are
+// dropped (the symmetry pruning of the optimized FINDLUT); without it the
+// full 720-entry expansion is returned (Algorithm 1 as written). Results
+// are cached process-wide; callers must treat the returned slice and its
+// Perm slices as read-only.
+func PermutedTables(f TT, dedup bool) []PermTable {
+	key := permKey{f: f, dedup: dedup}
+	permMu.RLock()
+	cached, ok := permCache[key]
+	permMu.RUnlock()
+	if ok {
+		permMu.Lock()
+		permHits++
+		permMu.Unlock()
+		return cached
+	}
+	perms := Permutations(MaxVars)
+	out := make([]PermTable, 0, len(perms))
+	var seen map[TT]bool
+	if dedup {
+		seen = make(map[TT]bool, len(perms))
+	}
+	for _, p := range perms {
+		table := f.Permute(p)
+		if dedup {
+			if seen[table] {
+				continue
+			}
+			seen[table] = true
+		}
+		out = append(out, PermTable{Table: table, Perm: p})
+	}
+	permMu.Lock()
+	permMiss++
+	if _, raced := permCache[key]; !raced && len(permCache) < permCacheMax {
+		permCache[key] = out
+	}
+	permMu.Unlock()
+	return out
+}
+
+// PermCacheStats reports the process-wide permuted-table cache counters:
+// lookups served from the memo, expansions computed, and entries held.
+func PermCacheStats() (hits, misses, entries int) {
+	permMu.RLock()
+	defer permMu.RUnlock()
+	return permHits, permMiss, len(permCache)
+}
+
+// ResetPermCache clears the permuted-table memo and its counters
+// (benchmarks and tests that measure the cold path).
+func ResetPermCache() {
+	permMu.Lock()
+	defer permMu.Unlock()
+	permCache = map[permKey][]PermTable{}
+	permHits, permMiss = 0, 0
+}

@@ -20,19 +20,26 @@ type OverlapRow struct {
 }
 
 // OverlapAnalysis runs FINDLUT for every named candidate on the
-// bitstream and reports all pairs with at least one overlapping match.
+// bitstream — batched into one scan pass — and reports all pairs with at
+// least one overlapping match.
 func OverlapAnalysis(b []byte, names []string) []OverlapRow {
 	type set struct {
 		name    string
 		matches []Match
 	}
+	s := NewScanner(FindOptions{})
 	var sets []set
 	for _, name := range names {
 		c, ok := boolfn.CandidateByName(name)
 		if !ok {
 			continue
 		}
-		sets = append(sets, set{name: name, matches: FindLUT(b, c.TT, FindOptions{})})
+		s.AddFunction(name, c.TT)
+		sets = append(sets, set{name: name})
+	}
+	res := s.Scan(b)
+	for i := range sets {
+		sets[i].matches = res.Matches[sets[i].name]
 	}
 	var out []OverlapRow
 	for i := 0; i < len(sets); i++ {

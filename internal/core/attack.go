@@ -60,6 +60,9 @@ type Report struct {
 	IV             snow3g.IV
 	Loads          int
 	Verified       bool
+	// Scan aggregates the batch-scan observability counters over every
+	// bitstream pass the attack performed (normally exactly one).
+	Scan ScanStats
 }
 
 // HardwareEstimate extrapolates the attack's wall-clock cost on real
@@ -88,6 +91,11 @@ type Attack struct {
 	// is public knowledge (prjxray, [14], [15]), and 3-input functions
 	// otherwise drown in misaligned false positives.
 	clbStart int
+	// scanned memoizes batch-scan results per target function so every
+	// attack step reads from one shared bitstream pass; dualHits carries
+	// the Section VII-B predicate hits of the same pass.
+	scanned  map[boolfn.TT][]Match
+	dualHits []int
 }
 
 type envelope struct {
@@ -209,17 +217,76 @@ func deadColumns(z []uint32) uint32 {
 	return dead
 }
 
+// batchScan performs the attack's single bitstream pass: the complete
+// Table II catalogue, every guessed load-MUX shape and the Section VII-B
+// dual-output XOR predicate are compiled into one shared anchor index
+// and resolved in one walk of the plaintext image. Every later step
+// (candidate counting, z-path and feedback verification, MUX search,
+// Table VI's dual-XOR sweep) reads from this memo instead of re-scanning.
+func (a *Attack) batchScan() {
+	if a.scanned != nil {
+		return
+	}
+	s := NewScanner(FindOptions{})
+	cands := boolfn.Candidates()
+	for _, c := range cands {
+		s.AddFunction(c.Name, c.TT)
+	}
+	muxes := muxCatalogue()
+	for _, m := range muxes {
+		s.AddFunction("mux:"+m.name, m.fn)
+	}
+	s.AddDualXOR("dualxor", 0, 0)
+	res := s.Scan(a.plain)
+	a.scanned = make(map[boolfn.TT][]Match, len(cands)+len(muxes))
+	for _, c := range cands {
+		a.scanned[c.TT] = res.Matches[c.Name]
+	}
+	for _, m := range muxes {
+		a.scanned[m.fn] = res.Matches["mux:"+m.name]
+	}
+	a.dualHits = res.DualHits["dualxor"]
+	a.rep.Scan.Accumulate(res.Stats)
+	a.logf("batch scan: %d functions + dual-XOR predicate in one pass (%d candidates, %d anchor hits, %d deep compares)",
+		res.Stats.Functions, res.Stats.CandidatesCompiled, res.Stats.AnchorHits, res.Stats.DeepCompares)
+}
+
+// matchesFor returns the FINDLUT matches for f on the plaintext image,
+// served from the memoized batch scan when f was part of one; functions
+// outside every batch (callers probing ad-hoc guesses) fall back to a
+// dedicated single-function pass and join the memo.
+func (a *Attack) matchesFor(f boolfn.TT) []Match {
+	if ms, ok := a.scanned[f]; ok {
+		return ms
+	}
+	ms := FindLUT(a.plain, f, FindOptions{})
+	if a.scanned == nil {
+		a.scanned = map[boolfn.TT][]Match{}
+	}
+	a.scanned[f] = ms
+	return ms
+}
+
 // CountCandidates reproduces the Table II measurement: the number of
-// FINDLUT matches for every catalogue row on the current bitstream.
+// FINDLUT matches for every catalogue row on the current bitstream, all
+// rows served from the shared single-pass batch scan.
 func (a *Attack) CountCandidates() []CandidateCount {
-	b := a.plain
+	a.batchScan()
 	var out []CandidateCount
 	for _, c := range boolfn.Candidates() {
-		n := len(FindLUT(b, c.TT, FindOptions{}))
+		n := len(a.matchesFor(c.TT))
 		out = append(out, CandidateCount{Name: c.Name, Path: c.Path, Expr: c.Expr, Count: n})
 	}
 	a.rep.CandidateTable = out
 	return out
+}
+
+// DualXORHits returns the Section VII-B dual-output XOR search over the
+// full plaintext image, served from the same single pass as the
+// candidate catalogue (the Table VI measurement).
+func (a *Attack) DualXORHits() []int {
+	a.batchScan()
+	return a.dualHits
 }
 
 // VerifyZPath implements Section VI-C.1: zero each f2 candidate in turn
@@ -227,6 +294,7 @@ func (a *Attack) CountCandidates() []CandidateCount {
 // column to 0 while leaving the others untouched. Overlapping candidates
 // of confirmed LUTs are discarded (two valid LUTs cannot share bytes).
 func (a *Attack) VerifyZPath() error {
+	a.batchScan()
 	return a.verifyZPathWith(boolfn.F2)
 }
 
@@ -240,7 +308,7 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 	a.rep.CleanKeystream = clean
 	cleanDead := deadColumns(clean)
 
-	cands := FindLUT(a.plain, zfn, FindOptions{})
+	cands := a.matchesFor(zfn)
 	a.logf("z_t path: %d f2 candidates", len(cands))
 	var confirmed []ConfirmedLUT
 	for ci := 0; ci < len(cands); ci++ {
@@ -307,8 +375,9 @@ func (a *Attack) CollectFeedbackCandidates() error {
 		}
 		return out
 	}
-	l8 := prune(FindLUT(a.plain, boolfn.F8, FindOptions{}))
-	l19 := prune(FindLUT(a.plain, boolfn.F19, FindOptions{}))
+	a.batchScan()
+	l8 := prune(a.matchesFor(boolfn.F8))
+	l19 := prune(a.matchesFor(boolfn.F19))
 	a.logf("feedback path: %d f8 + %d f19 candidates", len(l8), len(l19))
 	if len(l8)+len(l19) != 32 {
 		return fmt.Errorf("core: feedback candidates %d+%d != 32; hypothesis fails",
@@ -375,11 +444,12 @@ type betaState struct {
 // Table III criterion). Both polarity hypotheses for the MUX control are
 // tried, as in the paper.
 func (a *Attack) MakeKeyIndependent() (*betaState, error) {
+	a.batchScan()
 	specs := muxCatalogue()
 	var matches []Match
 	var specOf []muxSpec
 	for _, s := range specs {
-		ms := FindLUT(a.plain, s.fn, FindOptions{})
+		ms := a.matchesFor(s.fn)
 		for _, m := range ms {
 			if !a.aligned(m) {
 				continue

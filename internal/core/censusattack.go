@@ -37,6 +37,22 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 	if cerr != nil {
 		return rep, cerr
 	}
+	// One batch pass resolves FINDLUT for every discovered class at once;
+	// the per-class loops below read from the memo.
+	if len(classes) > 0 {
+		s := NewScanner(FindOptions{})
+		for i, c := range classes {
+			s.AddFunction(fmt.Sprintf("class%d", i), c.Canon)
+		}
+		res := s.Scan(a.plain)
+		if a.scanned == nil {
+			a.scanned = make(map[boolfn.TT][]Match, len(classes))
+		}
+		for i, c := range classes {
+			a.scanned[c.Canon] = res.Matches[fmt.Sprintf("class%d", i)]
+		}
+		a.rep.Scan.Accumulate(res.Stats)
+	}
 	var zClasses, fbClasses []CensusClass
 	var muxClasses []CensusClass
 	muxSel := map[boolfn.TT]int{}
@@ -104,7 +120,7 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 		var mods []fbMod
 		for _, c := range subset {
 			alpha := boolfn.StuckXorZero(c.Canon, pairOf(c))
-			for _, m := range FindLUT(a.plain, c.Canon, FindOptions{}) {
+			for _, m := range a.matchesFor(c.Canon) {
 				if !a.aligned(m) {
 					continue
 				}
@@ -163,7 +179,7 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 				zeroSel1: boolfn.ZeroMuxBranch(c.Canon, sel, true),
 				zeroSel0: boolfn.ZeroMuxBranch(c.Canon, sel, false),
 			}
-			for _, m := range FindLUT(a.plain, c.Canon, FindOptions{}) {
+			for _, m := range a.matchesFor(c.Canon) {
 				if !a.aligned(m) {
 					continue
 				}

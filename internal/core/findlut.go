@@ -13,10 +13,6 @@
 package core
 
 import (
-	"runtime"
-	"sort"
-	"sync"
-
 	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
 )
@@ -106,88 +102,20 @@ func pickAnchor(sub [4]uint16) int {
 // through ξ and one of the sub-vector orders, appears as four 16-bit
 // sub-vectors d = 101 bytes apart. Matches are reported once per index
 // (the algorithm's marking), sorted by index.
+//
+// FindLUT is the single-function entry point of the batch Scanner: the
+// candidate catalogue is served from the process-wide cache, candidates
+// are indexed by their anchor sub-vector (one load on the common miss
+// path, blank fabric never reaching the slow path), and the scannable
+// window [0, limit + maxAnchor·d] is partitioned exactly across the
+// worker pool — workers are capped at the position count, so no
+// goroutine is ever spawned for positions past the last useful probe.
+// Searching N functions over the same bitstream should use a Scanner
+// directly: one shared pass instead of N.
 func FindLUT(b []byte, f boolfn.TT, opt FindOptions) []Match {
-	cands := buildCandidates(f, opt)
-	// Index candidates by their anchor sub-vector. A direct-indexed table
-	// keeps the per-byte probe to one load on the (overwhelmingly common)
-	// miss path, and anchoring on a distinctive sub-vector keeps blank
-	// fabric off the slow path entirely.
-	byAnchor := make([][]int32, 1<<16)
-	for i := range cands {
-		k := cands[i].sub[cands[i].anchor]
-		byAnchor[k] = append(byAnchor[k], int32(i))
-	}
-	span := (bitstream.SubVectors-1)*bitstream.SubVectorOffset + bitstream.SubVectorBytes
-	limit := len(b) - span
-	if limit < 0 {
-		return nil
-	}
-
-	workers := opt.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// A position can be matched through any candidate's anchor, so dedupe
-	// by LUT base index afterwards, keeping the lowest candidate number
-	// (the deterministic analogue of Algorithm 1's marking).
-	type hit struct {
-		index int
-		cand  int32
-	}
-	chunk := (len(b)-1)/workers + 1
-	var mu sync.Mutex
-	var all []hit
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if lo >= len(b)-1 {
-			break
-		}
-		if hi > len(b)-1 {
-			hi = len(b) - 1
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var local []hit
-			for p := lo; p < hi; p++ {
-				idxs := byAnchor[uint16(b[p])|uint16(b[p+1])<<8]
-				if idxs == nil {
-					continue
-				}
-				for _, ci := range idxs {
-					c := &cands[ci]
-					l := p - c.anchor*bitstream.SubVectorOffset
-					if l < 0 || l > limit {
-						continue
-					}
-					if matchAt(b, l, c) {
-						local = append(local, hit{index: l, cand: ci})
-					}
-				}
-			}
-			mu.Lock()
-			all = append(all, local...)
-			mu.Unlock()
-		}(lo, hi)
-	}
-	wg.Wait()
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].index != all[j].index {
-			return all[i].index < all[j].index
-		}
-		return all[i].cand < all[j].cand
-	})
-	var out []Match
-	for i, h := range all {
-		if i > 0 && all[i-1].index == h.index {
-			continue // marking: one match per index
-		}
-		c := &cands[h.cand]
-		out = append(out, Match{Index: h.index, Perm: c.perm, Order: c.order})
-	}
-	return out
+	s := NewScanner(opt)
+	s.AddFunction("f", f)
+	return s.Scan(b).Matches["f"]
 }
 
 func matchAt(b []byte, l int, c *candidate) bool {
@@ -201,9 +129,12 @@ func matchAt(b []byte, l int, c *candidate) bool {
 }
 
 // buildCandidates expands f over input permutations and sub-vector
-// orders into the raw byte patterns to search for.
+// orders into the raw byte patterns to search for. The permutation
+// expansion (and its symmetry dedup) comes from the process-wide
+// boolfn.PermutedTables memo; the compiled catalogue itself is cached by
+// catalogueFor, so callers should go through that.
 func buildCandidates(f boolfn.TT, opt FindOptions) []candidate {
-	perms := boolfn.Permutations(boolfn.MaxVars)
+	tables := boolfn.PermutedTables(f, !opt.NoPermDedup)
 	orders := []bitstream.SliceType{bitstream.SliceL, bitstream.SliceM}
 	seen := make(map[[4]uint16]bool)
 	var out []candidate
@@ -214,15 +145,8 @@ func buildCandidates(f boolfn.TT, opt FindOptions) []candidate {
 		seen[sub] = true
 		out = append(out, candidate{sub: sub, anchor: pickAnchor(sub), perm: perm, order: order})
 	}
-	seenTT := make(map[boolfn.TT]bool)
-	for _, p := range perms {
-		table := f.Permute(p)
-		if !opt.NoPermDedup {
-			if seenTT[table] {
-				continue
-			}
-			seenTT[table] = true
-		}
+	for _, pt := range tables {
+		table, p := pt.Table, pt.Perm
 		if opt.ExhaustiveOrders {
 			xi := bitstream.Xi(table)
 			var quarters [4]uint16
@@ -294,32 +218,11 @@ func invertPerm(p []int) []int {
 // 2-input XOR in one half and any function of up to five dependent
 // variables in the other. lo and hi bound the scanned byte interval
 // (hi ≤ 0 means the end of the bitstream), modelling the paper's
-// constrained search over 200 000 positions.
+// constrained search over 200 000 positions. The scan runs on the
+// Scanner's worker pool with the blank-fabric prefilter, so empty
+// regions never pay for a 64-bit LUT decode.
 func FindDualXOR(b []byte, lo, hi int) []int {
-	span := (bitstream.SubVectors-1)*bitstream.SubVectorOffset + bitstream.SubVectorBytes
-	if hi <= 0 || hi > len(b)-span {
-		hi = len(b) - span
-	}
-	if lo < 0 {
-		lo = 0
-	}
-	var hits []int
-	for l := lo; l <= hi; l++ {
-		var sub [bitstream.SubVectors][bitstream.SubVectorBytes]byte
-		for q := 0; q < bitstream.SubVectors; q++ {
-			off := l + q*bitstream.SubVectorOffset
-			sub[q][0], sub[q][1] = b[off], b[off+1]
-		}
-		found := false
-		for _, order := range []bitstream.SliceType{bitstream.SliceL, bitstream.SliceM} {
-			if boolfn.DualXorCandidate(bitstream.DecodeLUT(sub, order)) {
-				found = true
-				break
-			}
-		}
-		if found {
-			hits = append(hits, l)
-		}
-	}
-	return hits
+	s := NewScanner(FindOptions{})
+	s.AddDualXOR("w", lo, hi)
+	return s.Scan(b).DualHits["w"]
 }

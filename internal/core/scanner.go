@@ -1,0 +1,448 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+)
+
+// This file is the batch scan engine behind every bitstream search in
+// the package. The paper prices one FINDLUT run at "< 4 s for a < 10 MB
+// bitstream" (Section VI-B), but the Table II / Table VI reproductions
+// and the attack itself need 21+ functions — paying that price once per
+// function re-walks the identical bytes N times. The Scanner compiles
+// the candidate catalogues of every requested function (and the
+// dual-output XOR predicate of Section VII-B) into one shared anchor
+// index, walks the bitstream exactly once with the worker pool, and
+// demultiplexes hits per function. Per-function results are identical to
+// running FindLUT (and FindLUTReference) separately; the equivalence is
+// pinned by the differential suite in scanner_test.go.
+
+// ScanStats records what one Scan (or an accumulation of several) did:
+// the observability layer behind the CLI -stats flag and the attack
+// report.
+type ScanStats struct {
+	// Functions is the number of distinct LUT functions searched;
+	// DualTargets the number of dual-output XOR windows.
+	Functions   int
+	DualTargets int
+	// CandidatesCompiled counts the (table, order) byte patterns in the
+	// shared anchor index.
+	CandidatesCompiled int
+	// CatalogueHits/CatalogueMisses count candidate catalogues served
+	// from / missing the process-wide cache during compilation.
+	CatalogueHits   int
+	CatalogueMisses int
+	// BytesScanned is the size of the scanned window; Passes the number
+	// of full bitstream walks (always 1 per Scan — the point).
+	BytesScanned int64
+	Passes       int64
+	// AnchorProbes counts probed byte positions; AnchorHits the probes
+	// whose 16-bit sub-vector hit the candidate index; DeepCompares the
+	// full four-sub-vector comparisons that followed.
+	AnchorProbes int64
+	AnchorHits   int64
+	DeepCompares int64
+	// DualProbes counts positions tested against the dual-XOR windows;
+	// DualDecodes the positions that survived the blank-fabric prefilter
+	// and paid for a 64-bit LUT decode.
+	DualProbes  int64
+	DualDecodes int64
+	// Workers is the size of the scan worker pool.
+	Workers int
+	// CompileTime covers catalogue compilation and index construction;
+	// ScanTime the bitstream walk.
+	CompileTime time.Duration
+	ScanTime    time.Duration
+}
+
+// Accumulate folds another scan's counters into s (multi-scan flows such
+// as the census-guided attack report one aggregate).
+func (s *ScanStats) Accumulate(o ScanStats) {
+	s.Functions += o.Functions
+	s.DualTargets += o.DualTargets
+	s.CandidatesCompiled += o.CandidatesCompiled
+	s.CatalogueHits += o.CatalogueHits
+	s.CatalogueMisses += o.CatalogueMisses
+	s.BytesScanned += o.BytesScanned
+	s.Passes += o.Passes
+	s.AnchorProbes += o.AnchorProbes
+	s.AnchorHits += o.AnchorHits
+	s.DeepCompares += o.DeepCompares
+	s.DualProbes += o.DualProbes
+	s.DualDecodes += o.DualDecodes
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.CompileTime += o.CompileTime
+	s.ScanTime += o.ScanTime
+}
+
+// ScanResult holds the demultiplexed output of one Scan.
+type ScanResult struct {
+	// Matches maps each AddFunction key to its FindLUT-identical match
+	// list (nil when the function never occurs).
+	Matches map[string][]Match
+	// DualHits maps each AddDualXOR key to the ascending byte indexes
+	// satisfying the Section VII-B predicate inside that window.
+	DualHits map[string][]int
+	// Stats describes the single pass that produced everything above.
+	Stats ScanStats
+}
+
+// fnTarget is one requested LUT function.
+type fnTarget struct {
+	key string
+	fn  boolfn.TT
+}
+
+// dualTarget is one requested dual-output XOR window, in the raw
+// (unnormalized) FindDualXOR convention: hi <= 0 means end of bitstream.
+type dualTarget struct {
+	key    string
+	lo, hi int
+}
+
+// Scanner is a batch FINDLUT engine: any number of target functions and
+// dual-XOR windows, one bitstream pass. A Scanner is built once per
+// query set and is not safe for concurrent mutation; Scan itself may be
+// called repeatedly (e.g. over different bitstreams) and runs its worker
+// pool internally.
+type Scanner struct {
+	opt   FindOptions
+	fns   []fnTarget
+	duals []dualTarget
+	byKey map[string]int // key → index into fns
+}
+
+// NewScanner creates an empty batch scanner with the given search
+// options (shared by every added function, exactly as if each were
+// searched with FindLUT(b, f, opt)).
+func NewScanner(opt FindOptions) *Scanner {
+	return &Scanner{opt: opt, byKey: map[string]int{}}
+}
+
+// AddFunction registers f under key. Re-adding an existing key replaces
+// its function. Returns the scanner for chaining.
+func (s *Scanner) AddFunction(key string, f boolfn.TT) *Scanner {
+	if i, ok := s.byKey[key]; ok {
+		s.fns[i].fn = f
+		return s
+	}
+	s.byKey[key] = len(s.fns)
+	s.fns = append(s.fns, fnTarget{key: key, fn: f})
+	return s
+}
+
+// AddDualXOR registers a Section VII-B dual-output XOR search over the
+// byte window [lo, hi] (hi <= 0 means the end of the bitstream), with
+// FindDualXOR's exact semantics.
+func (s *Scanner) AddDualXOR(key string, lo, hi int) *Scanner {
+	s.duals = append(s.duals, dualTarget{key: key, lo: lo, hi: hi})
+	return s
+}
+
+// scanRef points one anchor-index entry at its owning target: candidate
+// ci of function fn. Candidate order within a function is the
+// deterministic buildCandidates order, so marking (first candidate wins
+// per index) is reproduced per function exactly as in FindLUT.
+type scanRef struct {
+	fn int32
+	ci int32
+}
+
+// fnHit is one verified match before demultiplexing.
+type fnHit struct {
+	fn    int32
+	ci    int32
+	index int32
+}
+
+// dualHit is one dual-XOR predicate hit before window demultiplexing.
+type dualHit struct {
+	index int
+}
+
+// Scan walks b once and returns every requested result. The returned
+// match lists are byte-identical to per-function FindLUT calls with the
+// scanner's options, and the dual hit lists to FindDualXOR over each
+// window.
+func (s *Scanner) Scan(b []byte) *ScanResult {
+	res := &ScanResult{
+		Matches:  make(map[string][]Match, len(s.fns)),
+		DualHits: make(map[string][]int, len(s.duals)),
+	}
+	for _, t := range s.fns {
+		res.Matches[t.key] = nil
+	}
+	for _, t := range s.duals {
+		res.DualHits[t.key] = nil
+	}
+	res.Stats.Functions = len(s.fns)
+	res.Stats.DualTargets = len(s.duals)
+
+	span := (bitstream.SubVectors-1)*bitstream.SubVectorOffset + bitstream.SubVectorBytes
+	limit := len(b) - span
+	if limit < 0 {
+		return res // too short to hold even one LUT
+	}
+
+	// --- Compile phase: one shared anchor index over all functions. ---
+	compileStart := time.Now()
+	catalogues := make([][]candidate, len(s.fns))
+	maxAnchor := 0
+	var byAnchor [][]scanRef
+	if len(s.fns) > 0 {
+		byAnchor = make([][]scanRef, 1<<16)
+	}
+	for fi, t := range s.fns {
+		cands, hit := catalogueFor(t.fn, s.opt)
+		catalogues[fi] = cands
+		if hit {
+			res.Stats.CatalogueHits++
+		} else {
+			res.Stats.CatalogueMisses++
+		}
+		res.Stats.CandidatesCompiled += len(cands)
+		for ci := range cands {
+			c := &cands[ci]
+			if c.anchor > maxAnchor {
+				maxAnchor = c.anchor
+			}
+			k := c.sub[c.anchor]
+			byAnchor[k] = append(byAnchor[k], scanRef{fn: int32(fi), ci: int32(ci)})
+		}
+	}
+	res.Stats.CompileTime = time.Since(compileStart)
+
+	// --- Window: partition exactly the scannable positions. An anchor
+	// probe at position p can only yield a base index l = p − anchor·d in
+	// [0, limit], so positions past limit + maxAnchor·d are dead; the
+	// dual predicate tests base positions in [0, limit] directly. ---
+	anchorEnd := 0
+	if len(s.fns) > 0 {
+		anchorEnd = limit + maxAnchor*bitstream.SubVectorOffset + 1
+	}
+	dualEnd := 0
+	dualStart := limit + 1
+	dualLos := make([]int, len(s.duals))
+	dualHis := make([]int, len(s.duals))
+	for i, t := range s.duals {
+		lo, hi := t.lo, t.hi
+		if hi <= 0 || hi > limit {
+			hi = limit
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		dualLos[i], dualHis[i] = lo, hi
+		if hi+1 > dualEnd {
+			dualEnd = hi + 1
+		}
+		if lo < dualStart {
+			dualStart = lo
+		}
+	}
+	positions := anchorEnd
+	if dualEnd > positions {
+		positions = dualEnd
+	}
+	if positions == 0 {
+		res.Stats.Passes = 1
+		return res
+	}
+
+	workers := s.opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > positions {
+		workers = positions // never spawn a goroutine with no positions
+	}
+	chunk := (positions-1)/workers + 1
+	res.Stats.Workers = workers
+	res.Stats.BytesScanned = int64(positions)
+	res.Stats.Passes = 1
+
+	scanStart := time.Now()
+	var mu sync.Mutex
+	var allFn []fnHit
+	var allDual []dualHit
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > positions {
+			hi = positions
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var local []fnHit
+			var localDual []dualHit
+			var st ScanStats
+			for p := lo; p < hi; p++ {
+				if p < anchorEnd {
+					st.AnchorProbes++
+					refs := byAnchor[uint16(b[p])|uint16(b[p+1])<<8]
+					if refs != nil {
+						st.AnchorHits++
+						for _, r := range refs {
+							c := &catalogues[r.fn][r.ci]
+							l := p - c.anchor*bitstream.SubVectorOffset
+							if l < 0 || l > limit {
+								continue
+							}
+							st.DeepCompares++
+							if matchAt(b, l, c) {
+								local = append(local, fnHit{fn: r.fn, ci: r.ci, index: int32(l)})
+							}
+						}
+					}
+				}
+				if p >= dualStart && p < dualEnd && p <= limit {
+					st.DualProbes++
+					if hit, decoded := dualXorAt(b, p); decoded {
+						st.DualDecodes++
+						if hit {
+							localDual = append(localDual, dualHit{index: p})
+						}
+					}
+				}
+			}
+			mu.Lock()
+			allFn = append(allFn, local...)
+			allDual = append(allDual, localDual...)
+			res.Stats.AnchorProbes += st.AnchorProbes
+			res.Stats.AnchorHits += st.AnchorHits
+			res.Stats.DeepCompares += st.DeepCompares
+			res.Stats.DualProbes += st.DualProbes
+			res.Stats.DualDecodes += st.DualDecodes
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.Stats.ScanTime = time.Since(scanStart)
+
+	// --- Demultiplex. Per function: sort by (index, candidate) and keep
+	// one match per index — Algorithm 1's marking, deterministically. ---
+	sort.Slice(allFn, func(i, j int) bool {
+		if allFn[i].fn != allFn[j].fn {
+			return allFn[i].fn < allFn[j].fn
+		}
+		if allFn[i].index != allFn[j].index {
+			return allFn[i].index < allFn[j].index
+		}
+		return allFn[i].ci < allFn[j].ci
+	})
+	for i, h := range allFn {
+		if i > 0 && allFn[i-1].fn == h.fn && allFn[i-1].index == h.index {
+			continue // marking: one match per index per function
+		}
+		c := &catalogues[h.fn][h.ci]
+		key := s.fns[h.fn].key
+		res.Matches[key] = append(res.Matches[key],
+			Match{Index: int(h.index), Perm: c.perm, Order: c.order})
+	}
+	if len(allDual) > 0 {
+		sort.Slice(allDual, func(i, j int) bool { return allDual[i].index < allDual[j].index })
+		for di, t := range s.duals {
+			for _, h := range allDual {
+				if h.index >= dualLos[di] && h.index <= dualHis[di] {
+					res.DualHits[t.key] = append(res.DualHits[t.key], h.index)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// dualXorAt evaluates the Section VII-B predicate at base position l.
+// The second return reports whether a full 64-bit decode was paid for:
+// blank fabric (all-0x00 or all-0xFF sub-vectors, decoding to the
+// constant functions, which have no XOR half) is rejected from the raw
+// bytes alone — the dual-scan analogue of FindLUT's anchor prefilter.
+func dualXorAt(b []byte, l int) (hit, decoded bool) {
+	var sub [bitstream.SubVectors][bitstream.SubVectorBytes]byte
+	and, or := byte(0xFF), byte(0x00)
+	for q := 0; q < bitstream.SubVectors; q++ {
+		off := l + q*bitstream.SubVectorOffset
+		sub[q][0], sub[q][1] = b[off], b[off+1]
+		and &= b[off] & b[off+1]
+		or |= b[off] | b[off+1]
+	}
+	if or == 0x00 || and == 0xFF {
+		return false, false // constant LUT: cannot carry a 2-input XOR half
+	}
+	for _, order := range []bitstream.SliceType{bitstream.SliceL, bitstream.SliceM} {
+		if boolfn.DualXorCandidate(bitstream.DecodeLUT(sub, order)) {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// --- Process-wide candidate-catalogue cache -----------------------------
+
+// The 720-permutation expansion of a target function into byte patterns
+// depends only on (truth table, options). Repeated attacks over
+// different bitstreams — the multi-bitstream serving scenario — reuse
+// the compiled catalogues instead of re-expanding them per image.
+
+type catKey struct {
+	f                  boolfn.TT
+	exhaustive, noPerm bool
+}
+
+var (
+	catMu    sync.RWMutex
+	catCache = map[catKey][]candidate{}
+)
+
+// catCacheMax bounds the memo; past the cap, catalogues are compiled but
+// not retained (adversarial query streams must not grow memory without
+// limit).
+const catCacheMax = 1 << 12
+
+// catalogueFor returns the compiled candidate catalogue for f under opt,
+// serving it from the process-wide cache when possible. The returned
+// slice is shared and must be treated as read-only. The second result
+// reports whether the catalogue came from the cache.
+func catalogueFor(f boolfn.TT, opt FindOptions) ([]candidate, bool) {
+	key := catKey{f: f, exhaustive: opt.ExhaustiveOrders, noPerm: opt.NoPermDedup}
+	catMu.RLock()
+	cands, ok := catCache[key]
+	catMu.RUnlock()
+	if ok {
+		return cands, true
+	}
+	cands = buildCandidates(f, opt)
+	catMu.Lock()
+	if prior, raced := catCache[key]; raced {
+		cands = prior // keep one canonical slice per key
+	} else if len(catCache) < catCacheMax {
+		catCache[key] = cands
+	}
+	catMu.Unlock()
+	return cands, false
+}
+
+// CatalogueCacheStats reports the number of compiled catalogues held by
+// the process-wide cache.
+func CatalogueCacheStats() (entries int) {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	return len(catCache)
+}
+
+// ResetCatalogueCache clears the process-wide catalogue cache (tests and
+// cold-path benchmarks).
+func ResetCatalogueCache() {
+	catMu.Lock()
+	defer catMu.Unlock()
+	catCache = map[catKey][]candidate{}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+)
+
+// The differential suite: the batch Scanner must be byte-identical to
+// per-function FindLUT and to FindLUTReference (Algorithm 1 as written)
+// on every option path, and FindDualXOR must be byte-identical to the
+// literal serial sweep it replaced.
+
+// scannerTestFuncs is the function set the differential tests batch:
+// the three confirmed paper targets plus a guessed MUX shape (small
+// support → misaligned false positives, stressing the demultiplexer).
+func scannerTestFuncs() []boolfn.TT {
+	return []boolfn.TT{
+		boolfn.F2,
+		boolfn.F8,
+		boolfn.F19,
+		boolfn.MustParse("a1a2 + !a1a3"),
+	}
+}
+
+// plantImage builds a frame image with LUTs planted for permuted
+// variants of the test functions in both slice types, plus deterministic
+// noise bytes in an unused tail region (noise may create false
+// positives; both scan paths must agree on them too).
+func plantImage(t testing.TB) []byte {
+	t.Helper()
+	img := make([]byte, 24*bitstream.FrameBytes)
+	rng := rand.New(rand.NewSource(99))
+	fns := scannerTestFuncs()
+	for i, f := range fns {
+		for j, typ := range []bitstream.SliceType{bitstream.SliceL, bitstream.SliceM} {
+			perm := boolfn.Permutations(boolfn.MaxVars)[rng.Intn(720)]
+			loc := bitstream.Loc{Frame: 2*i + j, Slot: 3 + 5*i + j, Type: typ}
+			if err := bitstream.WriteLUT(img, loc, f.Permute(perm)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Dual-output XOR plants for the Section VII-B predicate.
+	for i := 0; i < 3; i++ {
+		d := boolfn.DualLUT{
+			O5: boolfn.Shrink5(boolfn.Xor(boolfn.A(1+i%2), boolfn.A(3))),
+			O6: boolfn.TT5(rng.Uint32()),
+		}
+		loc := bitstream.Loc{Frame: 10 + i, Slot: 7 * i, Type: bitstream.SliceType(i % 2)}
+		if err := bitstream.WriteLUT(img, loc, d.Pack()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise tail.
+	noise := img[18*bitstream.FrameBytes:]
+	for i := range noise {
+		noise[i] = byte(rng.Intn(256))
+	}
+	return img
+}
+
+func matchesEqual(t *testing.T, label string, batch, single []Match) {
+	t.Helper()
+	if len(batch) != len(single) {
+		t.Fatalf("%s: batch found %d matches, sequential %d", label, len(batch), len(single))
+	}
+	for i := range batch {
+		if batch[i].Index != single[i].Index || batch[i].Order != single[i].Order ||
+			!reflect.DeepEqual(batch[i].Perm, single[i].Perm) {
+			t.Fatalf("%s: match %d differs: batch %+v vs sequential %+v",
+				label, i, batch[i], single[i])
+		}
+	}
+}
+
+func TestScannerBatchEquivalence(t *testing.T) {
+	img := plantImage(t)
+	fns := scannerTestFuncs()
+	for _, opt := range []FindOptions{
+		{},
+		{Parallel: 1},
+		{Parallel: 64},
+		{NoPermDedup: true},
+		{ExhaustiveOrders: true},
+		{ExhaustiveOrders: true, NoPermDedup: true},
+	} {
+		label := fmt.Sprintf("opt=%+v", opt)
+		s := NewScanner(opt)
+		for i, f := range fns {
+			s.AddFunction(fmt.Sprintf("fn%d", i), f)
+		}
+		res := s.Scan(img)
+		for i, f := range fns {
+			single := FindLUT(img, f, opt)
+			matchesEqual(t, fmt.Sprintf("%s fn%d", label, i),
+				res.Matches[fmt.Sprintf("fn%d", i)], single)
+		}
+	}
+}
+
+func TestScannerMatchesAlgorithm1Reference(t *testing.T) {
+	img := plantImage(t)[:6*bitstream.FrameBytes] // the reference is slow
+	for _, f := range scannerTestFuncs() {
+		for _, exhaustive := range []bool{false, true} {
+			opt := FindOptions{ExhaustiveOrders: exhaustive}
+			p := SevenSeries()
+			p.AllOrders = exhaustive
+			want := FindLUTReference(img, f, p)
+			s := NewScanner(opt)
+			s.AddFunction("f", f)
+			got := s.Scan(img).Matches["f"]
+			if len(got) != len(want) {
+				t.Fatalf("%v exhaustive=%v: scanner %d indexes, Algorithm 1 %d",
+					f, exhaustive, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Index != want[i] {
+					t.Fatalf("%v exhaustive=%v: index %d is %d, Algorithm 1 says %d",
+						f, exhaustive, i, got[i].Index, want[i])
+				}
+			}
+		}
+	}
+}
+
+// findDualXORSerial is the literal pre-scanner sweep (two full 64-bit
+// decodes at every byte offset, no prefilter, no workers) kept as the
+// oracle for the routed implementation.
+func findDualXORSerial(b []byte, lo, hi int) []int {
+	span := (bitstream.SubVectors-1)*bitstream.SubVectorOffset + bitstream.SubVectorBytes
+	if hi <= 0 || hi > len(b)-span {
+		hi = len(b) - span
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	var hits []int
+	for l := lo; l <= hi; l++ {
+		var sub [bitstream.SubVectors][bitstream.SubVectorBytes]byte
+		for q := 0; q < bitstream.SubVectors; q++ {
+			off := l + q*bitstream.SubVectorOffset
+			sub[q][0], sub[q][1] = b[off], b[off+1]
+		}
+		for _, order := range []bitstream.SliceType{bitstream.SliceL, bitstream.SliceM} {
+			if boolfn.DualXorCandidate(bitstream.DecodeLUT(sub, order)) {
+				hits = append(hits, l)
+				break
+			}
+		}
+	}
+	return hits
+}
+
+func TestFindDualXORMatchesSerialSweep(t *testing.T) {
+	img := plantImage(t)
+	for _, window := range [][2]int{
+		{0, 0},
+		{0, 5 * bitstream.FrameBytes},
+		{3 * bitstream.FrameBytes, 12 * bitstream.FrameBytes},
+		{-7, len(img) + 100},
+		{17 * bitstream.FrameBytes, 0},
+	} {
+		want := findDualXORSerial(img, window[0], window[1])
+		got := FindDualXOR(img, window[0], window[1])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %v: routed %v, serial oracle %v", window, got, want)
+		}
+		if window == [2]int{0, 0} && len(want) < 3 {
+			t.Fatalf("full sweep found %d hits, want the 3 plants", len(want))
+		}
+	}
+}
+
+func TestScannerDualWindowsShareOnePass(t *testing.T) {
+	img := plantImage(t)
+	s := NewScanner(FindOptions{})
+	s.AddDualXOR("all", 0, 0)
+	s.AddDualXOR("head", 0, 5*bitstream.FrameBytes)
+	res := s.Scan(img)
+	if res.Stats.Passes != 1 {
+		t.Fatalf("two windows took %d passes, want 1", res.Stats.Passes)
+	}
+	if !reflect.DeepEqual(res.DualHits["all"], findDualXORSerial(img, 0, 0)) {
+		t.Fatal("full window diverged from the serial oracle")
+	}
+	if !reflect.DeepEqual(res.DualHits["head"], findDualXORSerial(img, 0, 5*bitstream.FrameBytes)) {
+		t.Fatal("head window diverged from the serial oracle")
+	}
+}
+
+func TestScanStatsObservability(t *testing.T) {
+	ResetCatalogueCache()
+	img := plantImage(t)
+	fns := scannerTestFuncs()
+	build := func() *Scanner {
+		s := NewScanner(FindOptions{})
+		for i, f := range fns {
+			s.AddFunction(fmt.Sprintf("fn%d", i), f)
+		}
+		s.AddDualXOR("dual", 0, 0)
+		return s
+	}
+	cold := build().Scan(img).Stats
+	if cold.Functions != len(fns) || cold.DualTargets != 1 {
+		t.Fatalf("targets %d/%d, want %d/1", cold.Functions, cold.DualTargets, len(fns))
+	}
+	if cold.Passes != 1 || cold.BytesScanned == 0 || cold.AnchorProbes == 0 {
+		t.Fatalf("walk counters implausible: %+v", cold)
+	}
+	if cold.CandidatesCompiled == 0 || cold.CatalogueMisses != len(fns) || cold.CatalogueHits != 0 {
+		t.Fatalf("cold compile counters wrong: %+v", cold)
+	}
+	if cold.DualProbes == 0 || cold.DualDecodes == 0 || cold.DualDecodes > cold.DualProbes {
+		t.Fatalf("dual counters implausible: %+v", cold)
+	}
+	// Blank fabric must stay off the decode path: most of the image is
+	// empty, so the prefilter must reject the bulk of the probes.
+	if cold.DualDecodes*2 > cold.DualProbes {
+		t.Fatalf("prefilter ineffective: %d decodes for %d probes", cold.DualDecodes, cold.DualProbes)
+	}
+	warm := build().Scan(img).Stats
+	if warm.CatalogueHits != len(fns) || warm.CatalogueMisses != 0 {
+		t.Fatalf("catalogue cache not reused: %+v", warm)
+	}
+	var acc ScanStats
+	acc.Accumulate(cold)
+	acc.Accumulate(warm)
+	if acc.Passes != 2 || acc.Functions != 2*len(fns) {
+		t.Fatalf("accumulation wrong: %+v", acc)
+	}
+}
+
+func TestScannerWorkerCapOnTinyInput(t *testing.T) {
+	frames := make([]byte, 2*bitstream.FrameBytes)
+	if err := bitstream.WriteLUT(frames, bitstream.Loc{Frame: 0, Slot: 5}, boolfn.F8); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScanner(FindOptions{Parallel: 1 << 20})
+	s.AddFunction("f8", boolfn.F8)
+	res := s.Scan(frames)
+	if res.Stats.Workers > len(frames) {
+		t.Fatalf("%d workers for %d scannable positions", res.Stats.Workers, len(frames))
+	}
+	found := false
+	for _, m := range res.Matches["f8"] {
+		if m.Index == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("oversubscribed scanner lost the plant")
+	}
+	// The probe window must not extend past the last useful anchor
+	// position: limit + maxAnchor·d + 1 ≤ len(b) − 1.
+	if res.Stats.AnchorProbes > int64(len(frames)-1) {
+		t.Fatalf("probed %d positions in a %d-byte image", res.Stats.AnchorProbes, len(frames))
+	}
+}
+
+func TestScannerEmptyAndTinyBuffers(t *testing.T) {
+	s := NewScanner(FindOptions{})
+	s.AddFunction("f", boolfn.F2)
+	s.AddDualXOR("d", 0, 0)
+	for _, b := range [][]byte{nil, make([]byte, 10), make([]byte, 304)} {
+		res := s.Scan(b)
+		if res.Matches["f"] != nil || res.DualHits["d"] != nil {
+			t.Fatalf("len %d: non-empty result %+v", len(b), res)
+		}
+	}
+}
+
+// FuzzScannerDifferential feeds random frames to the batch scanner, the
+// per-function FindLUT loop and the serial dual-XOR oracle; any
+// divergence is a bug in the shared-pass demultiplexer.
+func FuzzScannerDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 400))
+	img := plantImage(f)
+	f.Add(img[:2*bitstream.FrameBytes])
+	f.Add(img[9*bitstream.FrameBytes : 13*bitstream.FrameBytes])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<14 {
+			b = b[:1<<14]
+		}
+		fns := []boolfn.TT{boolfn.F2, boolfn.F19, boolfn.MustParse("a1a2 + !a1a3")}
+		s := NewScanner(FindOptions{})
+		for i, fn := range fns {
+			s.AddFunction(fmt.Sprintf("fn%d", i), fn)
+		}
+		s.AddDualXOR("dual", 0, 0)
+		res := s.Scan(b)
+		for i, fn := range fns {
+			single := FindLUT(b, fn, FindOptions{})
+			batch := res.Matches[fmt.Sprintf("fn%d", i)]
+			if len(batch) != len(single) {
+				t.Fatalf("fn%d: batch %d vs single %d matches", i, len(batch), len(single))
+			}
+			for j := range batch {
+				if batch[j].Index != single[j].Index || batch[j].Order != single[j].Order ||
+					!reflect.DeepEqual(batch[j].Perm, single[j].Perm) {
+					t.Fatalf("fn%d match %d: %+v vs %+v", i, j, batch[j], single[j])
+				}
+			}
+		}
+		if want := findDualXORSerial(b, 0, 0); !reflect.DeepEqual(res.DualHits["dual"], want) {
+			t.Fatalf("dual hits %v, serial oracle %v", res.DualHits["dual"], want)
+		}
+	})
+}

@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"snowbma/internal/boolfn"
 	"snowbma/internal/core"
@@ -55,6 +56,9 @@ func Attack(rep *core.Report) string {
 		len(rep.LUT1), len(rep.LUT2), len(rep.LUT3))
 	fmt.Fprintf(&b, "MUX hypothesis:        %s (%d LUTs modified for fault beta)\n",
 		rep.MuxHypothesis, rep.MuxMatches)
+	if rep.Scan.Passes > 0 {
+		b.WriteString(ScanStats(rep.Scan))
+	}
 	b.WriteString("key-independent keystream (Table III analogue):\n")
 	b.WriteString(Keystream(rep.KeyIndependent))
 	b.WriteString("faulty keystream (Table IV analogue):\n")
@@ -65,6 +69,25 @@ func Attack(rep *core.Report) string {
 		rep.Key[0], rep.Key[1], rep.Key[2], rep.Key[3], rep.Verified)
 	fmt.Fprintf(&b, "RECOVERED IV:  %08x %08x %08x %08x\n",
 		rep.IV[0], rep.IV[1], rep.IV[2], rep.IV[3])
+	return b.String()
+}
+
+// ScanStats renders the batch-scan observability counters (the -stats
+// CLI flag and the attack report's scan section).
+func ScanStats(s core.ScanStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan engine:           %d functions + %d dual-XOR windows in %d pass(es), %d workers\n",
+		s.Functions, s.DualTargets, s.Passes, s.Workers)
+	fmt.Fprintf(&b, "  catalogue:           %d candidates compiled (cache: %d hits, %d misses)\n",
+		s.CandidatesCompiled, s.CatalogueHits, s.CatalogueMisses)
+	fmt.Fprintf(&b, "  walk:                %d bytes, %d anchor probes, %d anchor hits, %d deep compares\n",
+		s.BytesScanned, s.AnchorProbes, s.AnchorHits, s.DeepCompares)
+	if s.DualTargets > 0 {
+		fmt.Fprintf(&b, "  dual-XOR:            %d probes, %d survived the blank-fabric prefilter\n",
+			s.DualProbes, s.DualDecodes)
+	}
+	fmt.Fprintf(&b, "  time:                compile %v, scan %v\n",
+		s.CompileTime.Round(time.Microsecond), s.ScanTime.Round(time.Microsecond))
 	return b.String()
 }
 

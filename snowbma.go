@@ -202,14 +202,27 @@ func RunCensusAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, erro
 // CandidateCount is one row of the Table II / Table VI measurement.
 type CandidateCount = core.CandidateCount
 
+// ScanStats describes what the batch scan engine did during a search:
+// functions batched, candidates compiled, anchor probes and hits, deep
+// comparisons, worker-pool size and per-phase wall time.
+type ScanStats = core.ScanStats
+
 // CountCandidates runs FINDLUT on the victim's bitstream for every
 // Table II candidate function and reports match counts.
 func CountCandidates(v *Victim, iv IV) ([]CandidateCount, error) {
+	rows, _, err := CountCandidatesStats(v, iv)
+	return rows, err
+}
+
+// CountCandidatesStats is CountCandidates plus the scan-engine counters
+// of the single batch pass that produced the table.
+func CountCandidatesStats(v *Victim, iv IV) ([]CandidateCount, ScanStats, error) {
 	atk, err := core.NewAttack(v.Device, iv, nil)
 	if err != nil {
-		return nil, err
+		return nil, ScanStats{}, err
 	}
-	return atk.CountCandidates(), nil
+	rows := atk.CountCandidates()
+	return rows, atk.Report().Scan, nil
 }
 
 // FindFunction searches a raw bitstream for LUTs implementing the
@@ -218,6 +231,13 @@ func CountCandidates(v *Victim, iv IV) ([]CandidateCount, error) {
 // and returns the byte indexes of all candidates — the tool described in
 // the paper's contribution list.
 func FindFunction(bits []byte, expr string) ([]int, error) {
+	out, _, err := FindFunctionStats(bits, expr, 0)
+	return out, err
+}
+
+// FindFunctionStats is FindFunction with an explicit worker count
+// (0 = all CPUs) and the scan-engine counters of the pass.
+func FindFunctionStats(bits []byte, expr string, parallel int) ([]int, ScanStats, error) {
 	var f boolfn.TT
 	var err error
 	if strings.HasPrefix(expr, "64'h") || strings.HasPrefix(expr, "0x") {
@@ -226,14 +246,17 @@ func FindFunction(bits []byte, expr string) ([]int, error) {
 		f, err = boolfn.Parse(expr)
 	}
 	if err != nil {
-		return nil, err
+		return nil, ScanStats{}, err
 	}
-	matches := core.FindLUT(bits, f, core.FindOptions{})
+	s := core.NewScanner(core.FindOptions{Parallel: parallel})
+	s.AddFunction("f", f)
+	res := s.Scan(bits)
+	matches := res.Matches["f"]
 	out := make([]int, len(matches))
 	for i, m := range matches {
 		out[i] = m.Index
 	}
-	return out, nil
+	return out, res.Stats, nil
 }
 
 // DualXORHits runs the Section VII-B search over [lo, hi) byte positions
@@ -241,6 +264,16 @@ func FindFunction(bits []byte, expr string) ([]int, error) {
 // half.
 func DualXORHits(bits []byte, lo, hi int) []int {
 	return core.FindDualXOR(bits, lo, hi)
+}
+
+// DualXORHitsStats is DualXORHits plus the scan-engine counters —
+// notably how many probe positions the blank-fabric prefilter rejected
+// before a 64-bit decode.
+func DualXORHitsStats(bits []byte, lo, hi int) ([]int, ScanStats) {
+	s := core.NewScanner(core.FindOptions{})
+	s.AddDualXOR("w", lo, hi)
+	res := s.Scan(bits)
+	return res.DualHits["w"], res.Stats
 }
 
 // SearchEffortBits returns log2 of the exhaustive effort of locating m
