@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test tier1 race bench fuzz clean
+.PHONY: all build vet test tier1 race bench bench-json fuzz clean
 
 all: tier1
 
@@ -25,6 +25,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the batch-vs-scalar sweep benchmarks and commits the
+# numbers as machine-readable JSON (the EXPERIMENTS.md evidence file).
+BENCH_PR2 = BenchmarkAttackEndToEnd|BenchmarkCandidateSweep|BenchmarkClockBatch|BenchmarkScannerBatchVsSequential|BenchmarkFindLUT10MB
+bench-json:
+	$(GO) test -run xxx -bench '$(BENCH_PR2)' -benchtime 10x . \
+		| $(GO) run ./tools/benchjson -o BENCH_PR2.json
+	@cat BENCH_PR2.json
 
 # Short fuzz pass over the scanner differential target.
 fuzz:

@@ -6,12 +6,14 @@
 package snowbma
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
 	"snowbma/internal/core"
+	"snowbma/internal/device"
 	"snowbma/internal/hdl"
 	"snowbma/internal/mapper"
 	"snowbma/internal/snow3g"
@@ -145,6 +147,101 @@ func BenchmarkEndToEndAttack(b *testing.B) {
 			b.Fatal("wrong key")
 		}
 	}
+}
+
+// BenchmarkAttackEndToEnd contrasts the candidate-sweep widths on the
+// complete attack: lanes-1 evaluates every faulty bitstream on the
+// scalar device (one full load + settle walk per candidate), lanes-64
+// packs up to 64 candidates into each bitsliced fabric pass. Both
+// recover the same key with identical Report.Loads; only wall-clock
+// changes — the ratio is the PR's headline speedup.
+func BenchmarkAttackEndToEnd(b *testing.B) {
+	u, _, _ := fixtures(b)
+	for _, bc := range []struct {
+		name  string
+		lanes int
+	}{{"scalar-1", 1}, {"batch-64", 64}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunAttackLanes(u, PaperIV, nil, bc.lanes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Key != PaperKey {
+					b.Fatal("wrong key")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCandidateSweep isolates the candidate-verification phase the
+// tentpole targets: the z-path sweep (Section VI-C.1, ~35 candidate
+// trials) with the FINDLUT scan warmed outside the timer, so the
+// scalar-vs-batch ratio measures only load+keystream evaluation.
+func BenchmarkCandidateSweep(b *testing.B) {
+	u, _, _ := fixtures(b)
+	defer func() {
+		if err := u.Device.Load(u.Device.ReadFlash()); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	for _, bc := range []struct {
+		name  string
+		lanes int
+	}{{"scalar-1", 1}, {"batch-64", 64}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				atk, err := core.NewAttack(u.Device, PaperIV, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := atk.SetLanes(bc.lanes); err != nil {
+					b.Fatal(err)
+				}
+				atk.CountCandidates() // shared single-pass scan, untimed
+				b.StartTimer()
+				if err := atk.VerifyZPath(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClockBatch measures the bitsliced evaluator's cycle cost and
+// reports ns per lane-cycle: at 64 lanes one settle walk advances 64
+// virtual devices, so the per-lane figure is the amortized cost the
+// candidate sweeps pay. The scalar device's Clock is the baseline.
+func BenchmarkClockBatch(b *testing.B) {
+	u, _, _ := fixtures(b)
+	img := u.Device.ReadFlash()
+	for _, lanes := range []int{1, 64} {
+		b.Run(fmt.Sprintf("lanes-%d", lanes), func(b *testing.B) {
+			f := device.New([bitstream.KeySize]byte{})
+			batch, err := f.LoadPatched(img, make([]bitstream.PatchSet, lanes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.ClockBatch()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(lanes), "ns/lane-cycle")
+		})
+	}
+	b.Run("scalar-clock", func(b *testing.B) {
+		f := device.New([bitstream.KeySize]byte{})
+		if err := f.Load(img); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Clock()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/lane-cycle")
+	})
 }
 
 // BenchmarkCriticalPath measures the timing analysis that backs the

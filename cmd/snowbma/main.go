@@ -5,7 +5,7 @@
 // Usage:
 //
 //	snowbma synth      [-protected] [-key k0,k1,k2,k3] [-pad N] [-o out.bit]
-//	snowbma attack     [-protected] [-encrypted] [-key ...] [-iv ...] [-v]
+//	snowbma attack     [-protected] [-encrypted] [-census] [-lanes N] [-stats] [-key ...] [-iv ...] [-v]
 //	snowbma findlut    -bits file [-f expr] [-parallel N] [-stats]
 //	snowbma table2     [-key ...] [-stats]
 //	snowbma table6     [-key ...] [-stats]
@@ -193,9 +193,14 @@ func cmdAttack(args []string) error {
 	encrypted := fs.Bool("encrypted", false, "victim uses an encrypted bitstream")
 	verbose := fs.Bool("v", false, "log attack progress")
 	census := fs.Bool("census", false, "use census-guided discovery instead of the Table II catalogue")
+	lanes := fs.Int("lanes", snowbma.MaxLanes, "candidate-sweep width: simulator lanes per fabric pass (1 = scalar)")
+	stats := fs.Bool("stats", false, "print scan-engine and batch-sweep counters even on failure")
 	keyStr := keyFlag(fs)
 	ivStr := ivFlag(fs)
 	_ = fs.Parse(args)
+	if *lanes < 1 || *lanes > snowbma.MaxLanes {
+		return fmt.Errorf("attack: -lanes must be between 1 and %d, got %d", snowbma.MaxLanes, *lanes)
+	}
 	key, err := parseWords(*keyStr, snowbma.PaperKey)
 	if err != nil {
 		return err
@@ -220,16 +225,21 @@ func cmdAttack(args []string) error {
 	}
 	var rep *snowbma.Report
 	if *census {
-		rep, err = snowbma.RunCensusAttack(victim, iv, logf)
+		rep, err = snowbma.RunCensusAttackLanes(victim, iv, logf, *lanes)
 	} else {
-		rep, err = snowbma.RunAttack(victim, iv, logf)
+		rep, err = snowbma.RunAttackLanes(victim, iv, logf, *lanes)
 	}
 	if err != nil {
 		if rep != nil {
 			fmt.Print(report.CandidateTable(rep.CandidateTable))
+			if *stats {
+				fmt.Print(report.ScanStats(rep.Scan))
+				fmt.Print(report.BatchStats(rep.Batch))
+			}
 		}
 		return fmt.Errorf("attack failed (as expected for -protected): %w", err)
 	}
+	// The success report carries the scan and batch-sweep sections.
 	fmt.Print(report.Attack(rep))
 	if *verbose {
 		fmt.Println("\nidentified covers (Fig 5 analogue):")

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -105,6 +106,12 @@ func TestCmdFlagValidation(t *testing.T) {
 		{"census zero -min", func() error { return cmdCensus([]string{"-bits", empty, "-min", "0"}) }},
 		{"verify zero -ivs", func() error { return cmdVerify([]string{"-bits", empty, "-ivs", "0"}) }},
 		{"verify zero -n", func() error { return cmdVerify([]string{"-bits", empty, "-n", "-2"}) }},
+		{"attack zero -lanes", func() error { return cmdAttack([]string{"-lanes", "0"}) }},
+		{"attack negative -lanes", func() error { return cmdAttack([]string{"-lanes", "-4"}) }},
+		{"attack oversized -lanes", func() error { return cmdAttack([]string{"-lanes", "65"}) }},
+		{"census attack oversized -lanes", func() error {
+			return cmdAttack([]string{"-census", "-lanes", "100"})
+		}},
 	} {
 		if err := tc.run(); err == nil {
 			t.Errorf("%s: accepted", tc.name)
@@ -127,8 +134,15 @@ func TestCmdAttackEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("attack CLI test skipped in -short mode")
 	}
-	if err := cmdAttack([]string{}); err != nil {
+	if err := cmdAttack([]string{"-lanes", "32", "-stats"}); err != nil {
 		t.Fatalf("attack command failed: %v", err)
+	}
+}
+
+func TestCmdAttackLanesErrorMessage(t *testing.T) {
+	err := cmdAttack([]string{"-lanes", "65"})
+	if err == nil || !strings.Contains(err.Error(), "-lanes must be between 1 and 64") {
+		t.Fatalf("unexpected -lanes error: %v", err)
 	}
 }
 

@@ -1,0 +1,466 @@
+package bitstream
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// The attack reseals (or re-CRCs) thousands of candidate images that
+// each differ from the base image in a handful of frame bytes. Both the
+// HMAC and the configuration CRC are sequential folds, so the work for
+// the unchanged prefix can be checkpointed once against the base image
+// and reused for every candidate: the resealer snapshots SHA-256
+// midstates and reuses the CBC ciphertext prefix, and the CRC cache
+// stores fold states plus the linear operator of the unchanged suffix so
+// a one-frame diff costs O(frame) instead of O(image).
+
+// resealCheckpoint is the spacing, in packet bytes, of the HMAC inner
+// midstate snapshots.
+const resealCheckpoint = 4096
+
+// Resealer produces sealed envelopes for modified variants of one base
+// packet stream, reusing checkpointed HMAC midstates and the sealed base
+// image's ciphertext prefix. The output is byte-identical to
+// Reseal(mod, kE, kA, cbcIV).
+type Resealer struct {
+	base   []byte
+	sealed []byte
+	kE     [KeySize]byte
+	kA     [KeySize]byte
+	cbcIV  [16]byte
+	block  cipher.Block
+	inner  [][]byte // marshaled SHA-256 states after kA⊕ipad ‖ base[:k·ck]
+	opad   [64]byte
+	body   []byte // scratch plaintext body, reused across calls
+
+	// Incremental and Full count fast-path and fallback reseals.
+	Incremental int
+	Full        int
+}
+
+// NewResealer checkpoints the HMAC and ciphertext of the base packets.
+func NewResealer(base []byte, kE, kA [KeySize]byte, cbcIV [16]byte) (*Resealer, error) {
+	block, err := aes.NewCipher(kE[:])
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := Seal(base, kE, kA, cbcIV)
+	if err != nil {
+		return nil, err
+	}
+	r := &Resealer{
+		base:   append([]byte(nil), base...),
+		sealed: sealed,
+		kE:     kE,
+		kA:     kA,
+		cbcIV:  cbcIV,
+		block:  block,
+	}
+	var ipad [64]byte
+	for i := 0; i < 64; i++ {
+		ipad[i] = 0x36
+		r.opad[i] = 0x5C
+	}
+	for i, b := range kA {
+		ipad[i] ^= b
+		r.opad[i] ^= b
+	}
+	h := sha256.New()
+	h.Write(ipad[:])
+	for off := 0; ; off += resealCheckpoint {
+		st, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		r.inner = append(r.inner, st)
+		if off >= len(base) {
+			break
+		}
+		hi := off + resealCheckpoint
+		if hi > len(base) {
+			hi = len(base)
+		}
+		h.Write(base[off:hi])
+	}
+	return r, nil
+}
+
+// SealedBase returns the sealed base image (shared storage; callers must
+// not mutate it).
+func (r *Resealer) SealedBase() []byte { return r.sealed }
+
+// tag computes HMAC-SHA256(kA, mod) resuming from the midstate
+// checkpoint at or before the first byte where mod differs from base.
+func (r *Resealer) tag(mod []byte, firstDiff int) ([]byte, error) {
+	k := firstDiff / resealCheckpoint
+	h := sha256.New()
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(r.inner[k]); err != nil {
+		return nil, err
+	}
+	h.Write(mod[k*resealCheckpoint:])
+	innerSum := h.Sum(nil)
+	outer := sha256.New()
+	outer.Write(r.opad[:])
+	outer.Write(innerSum)
+	return outer.Sum(nil), nil
+}
+
+// ResealFrames seals a modified packet stream. When mod has the same
+// length as the base it reuses the HMAC midstate before the first
+// differing byte and the sealed base's ciphertext up to the first
+// affected AES block (every later block must be re-encrypted anyway —
+// CBC chains). Any other shape falls back to a full Seal.
+func (r *Resealer) ResealFrames(mod []byte) ([]byte, error) {
+	if len(mod) != len(r.base) {
+		r.Full++
+		return Seal(mod, r.kE, r.kA, r.cbcIV)
+	}
+	f0 := firstDiff(r.base, mod)
+	if f0 < 0 {
+		r.Incremental++
+		return append([]byte(nil), r.sealed...), nil
+	}
+	tag, err := r.tag(mod, f0)
+	if err != nil {
+		r.Full++
+		return Seal(mod, r.kE, r.kA, r.cbcIV)
+	}
+	// Rebuild the plaintext body: kA ‖ len ‖ mod ‖ kA ‖ tag ‖ pad.
+	bodyLen := len(r.sealed) - 20
+	if cap(r.body) < bodyLen {
+		r.body = make([]byte, bodyLen)
+	}
+	body := r.body[:bodyLen]
+	copy(body, r.kA[:])
+	binary.BigEndian.PutUint32(body[KeySize:], uint32(len(mod)))
+	copy(body[KeySize+4:], mod)
+	copy(body[KeySize+4+len(mod):], r.kA[:])
+	copy(body[KeySize+4+len(mod)+KeySize:], tag)
+	pad := bodyLen - (KeySize + 4 + len(mod) + KeySize + hmacSize)
+	for i := bodyLen - pad; i < bodyLen; i++ {
+		body[i] = byte(pad)
+	}
+	// First ciphertext block that changes: mod byte f0 sits at body
+	// offset 36+f0.
+	blk := (KeySize + 4 + f0) / aes.BlockSize
+	out := make([]byte, len(r.sealed))
+	copy(out, r.sealed[:20+blk*aes.BlockSize])
+	iv := r.cbcIV[:]
+	if blk > 0 {
+		iv = out[20+(blk-1)*aes.BlockSize : 20+blk*aes.BlockSize]
+	}
+	cipher.NewCBCEncrypter(r.block, iv).CryptBlocks(out[20+blk*aes.BlockSize:], body[blk*aes.BlockSize:])
+	r.Incremental++
+	return out, nil
+}
+
+// firstDiff returns the index of the first differing byte, or -1.
+func firstDiff(a, b []byte) int {
+	const chunk = 4096
+	for off := 0; off < len(a); off += chunk {
+		hi := off + chunk
+		if hi > len(a) {
+			hi = len(a)
+		}
+		if bytes.Equal(a[off:hi], b[off:hi]) {
+			continue
+		}
+		for i := off; i < hi; i++ {
+			if a[i] != b[i] {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// --- incremental configuration CRC ---
+
+// crcMat is a GF(2)-linear map on the 32-bit CRC state, stored as the
+// images of the 32 basis vectors.
+type crcMat [32]uint32
+
+func (m *crcMat) apply(c uint32) uint32 {
+	var out uint32
+	for c != 0 {
+		out ^= m[bits.TrailingZeros32(c)]
+		c &= c - 1
+	}
+	return out
+}
+
+// compose returns a∘b (apply b, then a).
+func compose(a, b *crcMat) crcMat {
+	var out crcMat
+	for i := range out {
+		out[i] = a.apply(b[i])
+	}
+	return out
+}
+
+var crcIdentity = func() crcMat {
+	var m crcMat
+	for i := range m {
+		m[i] = 1 << uint(i)
+	}
+	return m
+}()
+
+// crcStep is the linear part of one crcUpdate fold: the 37 LFSR steps
+// with all data bits zero. It is independent of the register address and
+// data word (those only contribute additively).
+var crcStep = func() crcMat {
+	var m crcMat
+	for i := range m {
+		m[i] = crcUpdate(1<<uint(i), 0, 0)
+	}
+	return m
+}()
+
+// matPow returns m^n by square-and-multiply.
+func matPow(m crcMat, n int) crcMat {
+	out := crcIdentity
+	for n > 0 {
+		if n&1 == 1 {
+			out = compose(&out, &m)
+		}
+		m = compose(&m, &m)
+		n >>= 1
+	}
+	return out
+}
+
+// crcCkWords is the checkpoint spacing in FDRI words.
+const crcCkWords = 128
+
+// CRCCache recomputes the stored configuration CRC of modified variants
+// of one base image incrementally. For each checkpoint k it stores the
+// fold state S_k of the base prefix, plus the affine map (M_k, U_k) of
+// the base suffix, so the CRC of a variant differing only in FDRI words
+// [a, b) is M_e(fold(S_c, mod[a..])) ⊕ U_e with c/e the enclosing
+// checkpoints — O(span) work instead of a full-image replay.
+type CRCCache struct {
+	base    []byte
+	p       *Parsed
+	nw      int      // FDRI length in words
+	states  []uint32 // S_k: fold state entering checkpoint k
+	mats    []crcMat // M_k: linear map from state at checkpoint k to final CRC
+	adds    []uint32 // U_k: additive part of the base suffix from checkpoint k
+	baseCRC uint32
+
+	// Incremental and Full count fast-path and fallback recomputes.
+	Incremental int
+	Full        int
+}
+
+// NewCRCCache replays the base image once, checkpointing fold states and
+// suffix operators. The base must carry an enabled CRC write.
+func NewCRCCache(base []byte) (*CRCCache, error) {
+	p, err := ParsePackets(base)
+	if err != nil {
+		return nil, err
+	}
+	if p.CRCOffset < 0 {
+		return nil, errors.New("bitstream: CRC write not present (disabled?)")
+	}
+	c := &CRCCache{
+		base: append([]byte(nil), base...),
+		p:    p,
+		nw:   p.FDRILen / 4,
+	}
+	if err := c.replay(); err != nil {
+		return nil, err
+	}
+	// Cross-check the affine construction against the full replay.
+	want, err := computeCRC(base)
+	if err != nil {
+		return nil, err
+	}
+	if got := c.mats[0].apply(c.states[0]) ^ c.adds[0]; got != want {
+		return nil, fmt.Errorf("bitstream: CRC checkpoint self-check failed: %08x != %08x", got, want)
+	}
+	c.baseCRC = want
+	return c, nil
+}
+
+// replay walks the base packets, recording the fold state before the
+// FDRI region, checkpoint states inside it, the per-chunk zero-state
+// folds, and the affine map of the register writes between the end of
+// the FDRI region and the CRC write.
+func (c *CRCCache) replay() error {
+	b := c.base
+	word := func(i int) uint32 { return binary.BigEndian.Uint32(b[4*i:]) }
+	n := len(b) / 4
+	i := 0
+	for ; i < n && word(i) != SyncWord; i++ {
+	}
+	if i == n {
+		return errors.New("bitstream: sync word not found")
+	}
+	i++
+	crc := uint32(0)
+	// tail is the affine fold of register writes after the FDRI region:
+	// final = tailMat(state) ⊕ tailAdd.
+	tailMat := crcIdentity
+	tailAdd := uint32(0)
+	seenFDRI := false
+	fold := func(reg, w uint32) {
+		if !seenFDRI {
+			crc = crcUpdate(crc, reg, w)
+			return
+		}
+		tailAdd = crcUpdate(tailAdd, reg, w)
+		tailMat = compose(&crcStep, &tailMat)
+	}
+	nck := (c.nw + crcCkWords - 1) / crcCkWords
+	chunkFold := make([]uint32, nck) // zero-state fold of chunk k
+	for i < n {
+		w := word(i)
+		switch {
+		case w == NopWord || w == 0:
+			i++
+		case w>>29 == 1:
+			reg := w >> 13 & 0x3FFF
+			count := int(w & 0x7FF)
+			if reg == RegCRC {
+				c.finish(chunkFold, tailMat, tailAdd)
+				return nil
+			}
+			if reg == RegCMD && count == 1 && word(i+1) == CmdRCRC {
+				if seenFDRI {
+					tailMat = crcMat{}
+					tailAdd = 0
+				} else {
+					crc = 0
+				}
+				i += 2
+				continue
+			}
+			if reg == RegFDRI && count == 0 && i+1 < n && word(i+1)>>29 == 2 {
+				fdriWords := int(word(i+1) & 0x07FFFFFF)
+				if 4*(i+2) != c.p.FDRIOffset || fdriWords != c.nw {
+					return errors.New("bitstream: unexpected second FDRI write")
+				}
+				seenFDRI = true
+				var v uint32
+				for j := 0; j < fdriWords; j++ {
+					if j%crcCkWords == 0 {
+						c.states = append(c.states, crc)
+						v = 0
+					}
+					dw := word(i + 2 + j)
+					crc = crcUpdate(crc, RegFDRI, dw)
+					v = crcUpdate(v, RegFDRI, dw)
+					if (j+1)%crcCkWords == 0 || j+1 == fdriWords {
+						chunkFold[j/crcCkWords] = v
+					}
+				}
+				i += 2 + fdriWords
+				continue
+			}
+			for j := 0; j < count; j++ {
+				fold(reg, word(i+1+j))
+			}
+			i += 1 + count
+		case w>>29 == 2:
+			i += 1 + int(w&0x07FFFFFF)
+		default:
+			return fmt.Errorf("bitstream: unrecognized word %08x", w)
+		}
+	}
+	return errors.New("bitstream: CRC write not reached during replay")
+}
+
+// finish builds the suffix operators M_k, U_k by backward recursion from
+// the tail map: M_k = M_{k+1}∘L^{r_k}, U_k = M_{k+1}(v_k) ⊕ U_{k+1}.
+func (c *CRCCache) finish(chunkFold []uint32, tailMat crcMat, tailAdd uint32) {
+	nck := len(chunkFold)
+	c.mats = make([]crcMat, nck+1)
+	c.adds = make([]uint32, nck+1)
+	c.mats[nck] = tailMat
+	c.adds[nck] = tailAdd
+	stepK := matPow(crcStep, crcCkWords)
+	for k := nck - 1; k >= 0; k-- {
+		rk := crcCkWords
+		if (k+1)*crcCkWords > c.nw {
+			rk = c.nw - k*crcCkWords
+		}
+		step := stepK
+		if rk != crcCkWords {
+			step = matPow(crcStep, rk)
+		}
+		c.mats[k] = compose(&c.mats[k+1], &step)
+		c.adds[k] = c.mats[k+1].apply(chunkFold[k]) ^ c.adds[k+1]
+	}
+}
+
+// RecomputeCRC replaces the stored CRC of mod — a variant of the base
+// image — with the correct value. Variants that differ from the base
+// outside the FDRI region (other than the stored CRC word itself) or in
+// length fall back to the full replay.
+func (c *CRCCache) RecomputeCRC(mod []byte) error {
+	if len(mod) != len(c.base) || !c.sameOutsideFDRI(mod) {
+		c.Full++
+		return RecomputeCRC(mod)
+	}
+	fb := c.p.FDRI(c.base)
+	mb := c.p.FDRI(mod)
+	// Locate the first and last differing checkpoint chunks.
+	nck := len(c.mats) - 1
+	c0, e := -1, -1
+	for k := 0; k < nck; k++ {
+		lo := k * crcCkWords * 4
+		hi := lo + crcCkWords*4
+		if hi > len(fb) {
+			hi = len(fb)
+		}
+		if !bytes.Equal(fb[lo:hi], mb[lo:hi]) {
+			if c0 < 0 {
+				c0 = k
+			}
+			e = k + 1
+		}
+	}
+	crc := c.baseCRC
+	if c0 >= 0 {
+		v := c.states[c0]
+		lo := c0 * crcCkWords
+		hi := e * crcCkWords
+		if hi > c.nw {
+			hi = c.nw
+		}
+		for j := lo; j < hi; j++ {
+			v = crcUpdate(v, RegFDRI, binary.BigEndian.Uint32(mb[4*j:]))
+		}
+		crc = c.mats[e].apply(v) ^ c.adds[e]
+	}
+	binary.BigEndian.PutUint32(mod[c.p.CRCOffset+4:], crc)
+	c.Incremental++
+	return nil
+}
+
+// sameOutsideFDRI reports whether mod matches the base everywhere
+// outside the FDRI region, ignoring the stored CRC word.
+func (c *CRCCache) sameOutsideFDRI(mod []byte) bool {
+	end := c.p.FDRIOffset + c.p.FDRILen
+	crcLo, crcHi := c.p.CRCOffset+4, c.p.CRCOffset+8
+	eq := func(lo, hi int) bool {
+		if lo >= hi {
+			return true
+		}
+		// Carve out the stored CRC word.
+		if crcLo >= lo && crcHi <= hi {
+			return bytes.Equal(c.base[lo:crcLo], mod[lo:crcLo]) &&
+				bytes.Equal(c.base[crcHi:hi], mod[crcHi:hi])
+		}
+		return bytes.Equal(c.base[lo:hi], mod[lo:hi])
+	}
+	return eq(0, c.p.FDRIOffset) && eq(end, len(c.base))
+}

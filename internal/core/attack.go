@@ -63,6 +63,10 @@ type Report struct {
 	// Scan aggregates the batch-scan observability counters over every
 	// bitstream pass the attack performed (normally exactly one).
 	Scan ScanStats
+	// Batch aggregates the bitsliced candidate-sweep counters. Loads
+	// models hardware reconfigurations and is invariant under the sweep
+	// width; Batch.Passes counts what the simulator actually ran.
+	Batch BatchStats
 }
 
 // HardwareEstimate extrapolates the attack's wall-clock cost on real
@@ -96,6 +100,25 @@ type Attack struct {
 	// the Section VII-B predicate hits of the same pass.
 	scanned  map[boolfn.TT][]Match
 	dualHits []int
+	// lanes is the candidate-sweep width: how many modified variants one
+	// bitsliced simulator pass evaluates (SetLanes; 1 = scalar).
+	lanes int
+	// batchInfo caches the frame geometry for candidate diff
+	// classification; resealer / crcCache hold the incremental
+	// reconfiguration state for the scalar path. All are built lazily on
+	// the first candidate trial.
+	batchInfo     *batchInfo
+	batchTried    bool
+	// baseLive is true while the victim device still holds the unmodified
+	// base configuration from the previous fabric pass, letting the next
+	// pass skip the base image decode (device.FPGA.BatchOf).
+	baseLive      bool
+	resealer      *bitstream.Resealer
+	resealerErr   error
+	resealerTried bool
+	crcCache      *bitstream.CRCCache
+	crcCacheErr   error
+	crcCacheTried bool
 }
 
 type envelope struct {
@@ -122,7 +145,8 @@ func NewAttackCRCMode(dev Victim, iv snow3g.IV, logf func(string, ...any), recom
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	a := &Attack{dev: dev, iv: iv, logf: logf, recomputeCRC: recompute}
+	a := &Attack{dev: dev, iv: iv, logf: logf, recomputeCRC: recompute, lanes: DefaultLanes}
+	a.rep.Batch.Width = a.lanes
 	img := dev.ReadFlash()
 	if len(img) == 0 {
 		return nil, errors.New("core: empty flash image")
@@ -181,26 +205,54 @@ func (a *Attack) working() []byte {
 	return append([]byte(nil), a.plain...)
 }
 
-// loadAndRun loads b into the victim (re-sealing when the original was
-// encrypted) and collects n keystream words.
-func (a *Attack) loadAndRun(b []byte, n int) ([]uint32, error) {
+// runCandidate prepares candidate image b for the victim — incremental
+// frame-level reseal when the original was encrypted, incremental CRC
+// recompute in recompute mode, both falling back to the full-image
+// paths — then loads it and collects n keystream words. It does NOT
+// count a modeled hardware load; callers that consume a result do
+// (loadAndRun and the sweep consumers), so speculative batch lanes
+// never inflate Report.Loads.
+func (a *Attack) runCandidate(b []byte, n int) ([]uint32, error) {
 	img := b
 	if a.env != nil {
-		sealed, err := bitstream.Reseal(b, a.env.kE, a.env.kA, a.env.cbcIV)
+		var sealed []byte
+		var err error
+		if r, rerr := a.ensureResealer(); rerr == nil {
+			sealed, err = r.ResealFrames(b)
+		} else {
+			sealed, err = bitstream.Reseal(b, a.env.kE, a.env.kA, a.env.cbcIV)
+		}
 		if err != nil {
 			return nil, err
 		}
 		img = sealed
 	} else if a.recomputeCRC {
-		if err := bitstream.RecomputeCRC(b); err != nil {
+		if c, cerr := a.ensureCRCCache(); cerr == nil {
+			if err := c.RecomputeCRC(b); err != nil {
+				return nil, err
+			}
+		} else if err := bitstream.RecomputeCRC(b); err != nil {
 			return nil, err
 		}
 	}
+	a.syncIncrementalStats()
+	a.baseLive = false // the victim now holds this candidate, not the base
 	if err := a.dev.Load(img); err != nil {
 		return nil, err
 	}
-	a.rep.Loads++
 	return hdl.GenerateKeystream(a.dev, a.iv, n), nil
+}
+
+// loadAndRun runs one counted hardware trial: candidate b is prepared,
+// loaded and sampled, and on success contributes one modeled
+// reconfiguration to Report.Loads.
+func (a *Attack) loadAndRun(b []byte, n int) ([]uint32, error) {
+	z, err := a.runCandidate(b, n)
+	if err != nil {
+		return nil, err
+	}
+	a.rep.Loads++
+	return z, nil
 }
 
 // w is the keystream sample length used by every verification step (the
@@ -310,6 +362,12 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 
 	cands := a.matchesFor(zfn)
 	a.logf("z_t path: %d f2 candidates", len(cands))
+	// One sweep over all candidates: up to 64 zeroed-LUT variants share
+	// each bitsliced fabric pass. Loads are counted on consumption so the
+	// overlap pruning below keeps its scalar accounting.
+	sw := a.newSweep(len(cands), w, func(i int, img []byte) {
+		WriteMatch(img, cands[i], boolfn.Const0)
+	})
 	var confirmed []ConfirmedLUT
 	for ci := 0; ci < len(cands); ci++ {
 		m := cands[ci]
@@ -323,12 +381,11 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 		if skip {
 			continue
 		}
-		copyB := a.working()
-		WriteMatch(copyB, m, boolfn.Const0)
-		z, err := a.loadAndRun(copyB, w)
+		z, err := sw.run(ci)
 		if err != nil {
 			continue // candidate bricks configuration: not a target
 		}
+		a.rep.Loads++
 		newDead := deadColumns(z) &^ cleanDead
 		if bits.OnesCount32(newDead) != 1 {
 			continue
@@ -500,27 +557,27 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 	model.Init(snow3g.Key{}, snow3g.IV{})
 	want := model.KeystreamWords(w)
 
-	test := func(sel1 bool, skip map[int]bool) (score int, z []uint32) {
-		b := a.working()
-		applyAlpha(b)
+	// apply writes one candidate modification set: alpha plus every
+	// non-excluded MUX zeroing under the sel1 hypothesis.
+	apply := func(img []byte, sel1 bool, skip map[int]bool, excl int) {
+		applyAlpha(img)
 		for i, m := range matches {
-			if skip[i] {
+			if skip[i] || i == excl {
 				continue
 			}
 			repl := specOf[i].zeroSel1
 			if !sel1 {
 				repl = specOf[i].zeroSel0
 			}
-			WriteMatch(b, m, repl)
+			WriteMatch(img, m, repl)
 		}
-		z, err := a.loadAndRun(b, w)
-		if err != nil {
-			return -1, nil
-		}
+	}
+	score := func(z []uint32) int {
+		s := 0
 		for t := range want {
-			score += 32 - bits.OnesCount32(z[t]^want[t])
+			s += 32 - bits.OnesCount32(z[t]^want[t])
 		}
-		return score, z
+		return s
 	}
 	perfect := 32 * w
 
@@ -544,37 +601,60 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 		return &betaState{matches: kept, specs: keptSpecs, sel1: sel1, excluded: len(skip)}
 	}
 
+	// Both polarity hypotheses ride one sweep (a single fabric pass in
+	// batch mode); a perfect hypothesis-1 score consumes only lane 0 and
+	// counts exactly one load, as the scalar sequence would.
 	bestScore := -1
 	bestSel1 := true
-	for _, sel1 := range []bool{true, false} {
-		score, z := test(sel1, nil)
-		if score == perfect {
+	hyp := []bool{true, false}
+	swHyp := a.newSweep(len(hyp), w, func(i int, img []byte) {
+		apply(img, hyp[i], nil, -1)
+	})
+	for i, sel1 := range hyp {
+		z, err := swHyp.run(i)
+		s := -1
+		if err == nil {
+			a.rep.Loads++
+			s = score(z)
+		}
+		if s == perfect {
 			return finish(sel1, map[int]bool{}, z), nil
 		}
-		if score > bestScore {
-			bestScore, bestSel1 = score, sel1
+		if s > bestScore {
+			bestScore, bestSel1 = s, sel1
 		}
 	}
 
 	// Group-testing fallback under the better hypothesis: repeatedly
 	// exclude the candidate whose removal recovers the most keystream
 	// bits. Bounded at 8 exclusions — more indicates a wrong design
-	// hypothesis rather than stray false positives.
+	// hypothesis rather than stray false positives. Each round is one
+	// sweep over the remaining candidates (the skip set is stable while
+	// a round's lanes are evaluated), consumed in scalar trial order.
 	skip := map[int]bool{}
 	for round := 0; round < 8; round++ {
-		bestIdx, bestGain := -1, 0
+		var idxs []int
 		for i := range matches {
-			if skip[i] {
-				continue
+			if !skip[i] {
+				idxs = append(idxs, i)
 			}
-			skip[i] = true
-			score, z := test(bestSel1, skip)
-			delete(skip, i)
-			if score == perfect {
+		}
+		sw := a.newSweep(len(idxs), w, func(k int, img []byte) {
+			apply(img, bestSel1, skip, idxs[k])
+		})
+		bestIdx, bestGain := -1, 0
+		for k, i := range idxs {
+			z, err := sw.run(k)
+			s := -1
+			if err == nil {
+				a.rep.Loads++
+				s = score(z)
+			}
+			if s == perfect {
 				skip[i] = true
 				return finish(bestSel1, skip, z), nil
 			}
-			if gain := score - bestScore; gain > bestGain {
+			if gain := s - bestScore; gain > bestGain {
 				bestIdx, bestGain = i, gain
 			}
 		}
@@ -605,23 +685,27 @@ func (a *Attack) identifyVPairsWith(beta *betaState, applyAlpha func([]byte), ke
 	for i := range resolved {
 		resolved[i] = -1
 	}
-	for keep := 0; keep <= 1; keep++ {
-		b := a.working()
-		applyAlpha(b)
+	// The two probes differ only in the kept variable: one sweep, one
+	// fabric pass in batch mode.
+	sw := a.newSweep(2, w, func(keep int, img []byte) {
+		applyAlpha(img)
 		for i, m := range beta.matches {
 			repl := beta.specs[i].zeroSel1
 			if !beta.sel1 {
 				repl = beta.specs[i].zeroSel0
 			}
-			WriteMatch(b, m, repl)
+			WriteMatch(img, m, repl)
 		}
 		for _, c := range a.rep.LUT1 {
-			WriteMatch(b, c.Match, keepFn(keep))
+			WriteMatch(img, c.Match, keepFn(keep))
 		}
-		z, err := a.loadAndRun(b, w)
+	})
+	for keep := 0; keep <= 1; keep++ {
+		z, err := sw.run(keep)
 		if err != nil {
 			return fmt.Errorf("core: v-pair probe %d: %w", keep, err)
 		}
+		a.rep.Loads++
 		dead := deadColumns(z)
 		for li := range a.rep.LUT1 {
 			if resolved[li] == -1 && dead>>uint(a.rep.LUT1[li].Bit)&1 == 1 {
@@ -650,15 +734,17 @@ func (a *Attack) ExtractKey() error {
 
 // extractKeyWith is ExtractKey with caller-supplied fault tables.
 func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn.TT) error {
-	b := a.working()
-	applyAlpha(b)
-	for _, c := range a.rep.LUT1 {
-		WriteMatch(b, c.Match, keepFn(c.KeepVar))
-	}
-	z, err := a.loadAndRun(b, w)
+	sw := a.newSweep(1, w, func(_ int, img []byte) {
+		applyAlpha(img)
+		for _, c := range a.rep.LUT1 {
+			WriteMatch(img, c.Match, keepFn(c.KeepVar))
+		}
+	})
+	z, err := sw.run(0)
 	if err != nil {
 		return fmt.Errorf("core: faulty keystream: %w", err)
 	}
+	a.rep.Loads++
 	a.rep.FaultyFinal = z
 	key, iv, s0, err := snow3g.RecoverFromKeystream(z)
 	if err != nil {
@@ -689,6 +775,7 @@ func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn
 // attack must not leave a faulty configuration behind.
 func (a *Attack) Run() (rep *Report, err error) {
 	defer func() {
+		a.baseLive = false
 		if restoreErr := a.dev.Load(a.dev.ReadFlash()); restoreErr != nil && err == nil {
 			err = fmt.Errorf("core: restoring original bitstream: %w", restoreErr)
 		}

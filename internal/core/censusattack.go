@@ -27,6 +27,7 @@ import (
 // this analysis).
 func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 	defer func() {
+		a.baseLive = false
 		if restoreErr := a.dev.Load(a.dev.ReadFlash()); restoreErr != nil && err == nil {
 			err = fmt.Errorf("core: restoring original bitstream: %w", restoreErr)
 		}

@@ -1,0 +1,360 @@
+package device
+
+import (
+	"fmt"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+)
+
+// The candidate-verification loops of the attack evaluate many variants
+// of one design that differ only in a few LUT truth tables or BRAM
+// words. Batch packs up to 64 such variants into one simulation: every
+// net becomes a uint64 whose bit L is the value of that net in lane L.
+// All lanes share the parsed Description (the routing never changes);
+// per-lane behaviour comes from lane-patched LUT truth tables and BRAM
+// tables. LUT evaluation reduces a transposed truth table through a
+// mux tree, BRAM reads gather per-lane words and scatter them back into
+// bitsliced output nets, and the carry chain ripples lane-wise — so one
+// pass through the evaluation order advances all lanes together.
+
+// MaxLanes is the lane capacity of a Batch: one lane per bit of the
+// word-level net representation.
+const MaxLanes = 64
+
+// Batch is a bitsliced multi-lane instance of a loaded configuration.
+type Batch struct {
+	desc  *bitstream.Description
+	lanes int
+	// rows[64*i+m] holds, for LUT i, lane mask of truth-table bit m:
+	// bit L is bit m of lane L's truth table.
+	rows []uint64
+	// bramTab is the shared (base) content; bramOver[b][L] overrides it
+	// for lane L when non-nil.
+	bramTab  [][]uint64
+	bramOver [][][]uint64
+	inPins   map[string]uint32
+	outPins  map[string]uint32
+	nets     []uint64
+	ffState  []uint64
+	scratch  [64]uint64
+	words    [MaxLanes]uint64
+	dirty    bool
+	// primed is set after the first settle: address-less BRAMs (constant
+	// ROMs) drive the same lane masks forever and are skipped afterwards.
+	primed bool
+}
+
+// LoadPatched configures the device from the base image, then builds a
+// batch with one lane per patch set, applying each set's frame patches
+// to that lane only. This is the simulator analogue of loading the base
+// bitstream once and stepping through candidates by partial
+// reconfiguration: patches must stay inside the CLB or BRAM frame
+// regions (header or description frames would change the shared
+// structure and are refused). An empty PatchSet yields an unmodified
+// lane. Unlike PartialReconfig — a debug port fused off on secured
+// devices — this is the attacker's own model of the victim, so
+// encrypted base images are accepted.
+func (f *FPGA) LoadPatched(img []byte, patches []bitstream.PatchSet) (*Batch, error) {
+	if err := f.Load(img); err != nil {
+		return nil, err
+	}
+	return f.BatchOf(patches)
+}
+
+// BatchOf builds a batch over the configuration already loaded into f,
+// skipping the base image decode — the fast path for consecutive
+// candidate sweeps over one base. The caller owns the knowledge that
+// the loaded configuration is the intended base.
+func (f *FPGA) BatchOf(patches []bitstream.PatchSet) (*Batch, error) {
+	if len(patches) < 1 || len(patches) > MaxLanes {
+		return nil, fmt.Errorf("device: lane count must be between 1 and %d, got %d", MaxLanes, len(patches))
+	}
+	if !f.Loaded() {
+		return nil, fmt.Errorf("device: BatchOf before successful Load")
+	}
+	regions, err := bitstream.ParseRegions(f.fdri)
+	if err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	desc := f.desc
+	b := &Batch{
+		desc:     desc,
+		lanes:    len(patches),
+		rows:     make([]uint64, 64*len(desc.LUTs)),
+		bramTab:  f.bramTab,
+		bramOver: make([][][]uint64, len(desc.BRAMs)),
+		inPins:   f.inPins,
+		outPins:  f.outPins,
+		nets:     make([]uint64, desc.NumNets),
+		ffState:  make([]uint64, len(desc.FFs)),
+		dirty:    true,
+	}
+	for i, tt := range f.lutTT {
+		rows := b.rows[64*i : 64*i+64]
+		for m := range rows {
+			if tt>>uint(m)&1 == 1 {
+				rows[m] = ^uint64(0)
+			}
+		}
+	}
+	for i, ff := range desc.FFs {
+		if ff.Init {
+			b.ffState[i] = ^uint64(0)
+		}
+	}
+	// Index the CLB frames: which LUTs must be re-read when a frame is
+	// patched. Loc.Frame is relative to the CLB region.
+	lutsByFrame := make(map[int][]int)
+	for i, rec := range desc.LUTs {
+		lutsByFrame[rec.Loc.Frame] = append(lutsByFrame[rec.Loc.Frame], i)
+	}
+	descStart := regions.DescOff / bitstream.FrameBytes
+	bramStart := regions.BRAMOff / bitstream.FrameBytes
+	totalFrames := regions.TotalLen / bitstream.FrameBytes
+	for lane, ps := range patches {
+		var bramRegion []byte
+		var bramFrames []int
+		for _, fp := range ps {
+			if len(fp.Data) != bitstream.FrameBytes {
+				return nil, fmt.Errorf("device: lane %d: frame patch must be %d bytes, got %d",
+					lane, bitstream.FrameBytes, len(fp.Data))
+			}
+			switch {
+			case fp.Frame < 0 || fp.Frame >= totalFrames:
+				return nil, fmt.Errorf("device: lane %d: frame %d out of range", lane, fp.Frame)
+			case fp.Frame == 0:
+				return nil, fmt.Errorf("device: lane %d: header frame cannot be lane-patched", lane)
+			case fp.Frame < descStart: // CLB region
+				for _, li := range lutsByFrame[fp.Frame-1] {
+					loc := desc.LUTs[li].Loc
+					loc.Frame = 0 // read from the standalone patched frame
+					tt, err := bitstream.ReadLUT(fp.Data, loc)
+					if err != nil {
+						return nil, fmt.Errorf("device: lane %d: LUT %d: %w", lane, li, err)
+					}
+					b.setLaneTT(li, lane, tt)
+				}
+			case fp.Frame < bramStart:
+				return nil, fmt.Errorf("device: lane %d: description frame %d cannot be lane-patched",
+					lane, fp.Frame)
+			default: // BRAM region
+				if bramRegion == nil {
+					bramRegion = append([]byte(nil),
+						f.fdri[regions.BRAMOff:regions.BRAMOff+regions.BRAMLen]...)
+				}
+				copy(bramRegion[(fp.Frame-bramStart)*bitstream.FrameBytes:], fp.Data)
+				bramFrames = append(bramFrames, fp.Frame-bramStart)
+			}
+		}
+		if bramRegion != nil {
+			if err := b.rebuildBRAM(lane, bramRegion, bramFrames); err != nil {
+				return nil, fmt.Errorf("device: lane %d: %w", lane, err)
+			}
+		}
+	}
+	return b, nil
+}
+
+// setLaneTT installs a truth table into one lane of a LUT's transposed
+// rows.
+func (b *Batch) setLaneTT(lut, lane int, tt boolfn.TT) {
+	rows := b.rows[64*lut : 64*lut+64]
+	bit := uint64(1) << uint(lane)
+	for m := range rows {
+		if tt>>uint(m)&1 == 1 {
+			rows[m] |= bit
+		} else {
+			rows[m] &^= bit
+		}
+	}
+}
+
+// rebuildBRAM re-decodes the BRAM tables whose content overlaps the
+// patched frames of one lane's BRAM region and installs them as lane
+// overrides.
+func (b *Batch) rebuildBRAM(lane int, region []byte, frames []int) error {
+	for i, rec := range b.desc.BRAMs {
+		entries := 1 << len(rec.Addr)
+		lo, hi := rec.ContentOff, rec.ContentOff+8*entries
+		if hi > len(region) {
+			return fmt.Errorf("BRAM %d content out of range", i)
+		}
+		touched := false
+		for _, fr := range frames {
+			if fr*bitstream.FrameBytes < hi && (fr+1)*bitstream.FrameBytes > lo {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		tab := make([]uint64, entries)
+		for e := 0; e < entries; e++ {
+			off := lo + 8*e
+			var w uint64
+			for k := 0; k < 8; k++ {
+				w = w<<8 | uint64(region[off+k])
+			}
+			tab[e] = w
+		}
+		if b.bramOver[i] == nil {
+			b.bramOver[i] = make([][]uint64, MaxLanes)
+		}
+		b.bramOver[i][lane] = tab
+	}
+	return nil
+}
+
+// Lanes reports the number of active lanes.
+func (b *Batch) Lanes() int { return b.lanes }
+
+// SetInputLanes drives an input pin with a lane mask: bit L is the
+// value seen by lane L.
+func (b *Batch) SetInputLanes(name string, mask uint64) {
+	net, ok := b.inPins[name]
+	if !ok {
+		panic(fmt.Sprintf("device: no input pin %q", name))
+	}
+	b.nets[net] = mask
+	b.dirty = true
+}
+
+// ReadLanes samples an output pin after the last clock edge and returns
+// the lane mask; bits above Lanes() are zero.
+func (b *Batch) ReadLanes(name string) uint64 {
+	net, ok := b.outPins[name]
+	if !ok {
+		panic(fmt.Sprintf("device: no output pin %q", name))
+	}
+	if b.dirty {
+		b.settle()
+	}
+	if b.lanes == MaxLanes {
+		return b.nets[net]
+	}
+	return b.nets[net] & (1<<uint(b.lanes) - 1)
+}
+
+// ClockBatch advances all lanes one cycle: evaluate, then latch every
+// flip-flop lane-wise.
+func (b *Batch) ClockBatch() {
+	b.settle()
+	for i, ff := range b.desc.FFs {
+		b.ffState[i] = b.nets[ff.D]
+	}
+	b.dirty = true
+}
+
+// settle evaluates the combinational fabric for all lanes at once,
+// walking the same evaluation order as the scalar device.
+func (b *Batch) settle() {
+	nets := b.nets
+	if len(nets) > 1 {
+		nets[0] = 0
+		nets[1] = ^uint64(0)
+	}
+	for i, ff := range b.desc.FFs {
+		nets[ff.Q] = b.ffState[i]
+	}
+	for _, item := range b.desc.Eval {
+		switch item.Kind {
+		case bitstream.EvalLUT:
+			rec := &b.desc.LUTs[item.Index]
+			rows := b.rows[64*item.Index : 64*item.Index+64]
+			if rec.O5 != bitstream.NoNet {
+				// Fractured LUT: a6 selects the half (Fig 4); only the
+				// first five inputs address within a half.
+				k := min(len(rec.Inputs), 5)
+				nets[rec.O5] = b.reduce(rows[:32], k, rec.Inputs)
+				nets[rec.O6] = b.reduce(rows[32:], k, rec.Inputs)
+			} else {
+				nets[rec.O6] = b.reduce(rows, len(rec.Inputs), rec.Inputs)
+			}
+		case bitstream.EvalBRAM:
+			rec := &b.desc.BRAMs[item.Index]
+			if len(rec.Addr) == 0 && b.primed {
+				// Constant ROM: its output lane masks were computed on the
+				// first settle and nothing can change them.
+				continue
+			}
+			over := b.bramOver[item.Index]
+			words := b.words[:b.lanes]
+			for L := range words {
+				addr := 0
+				for i, a := range rec.Addr {
+					addr |= int(nets[a]>>uint(L)&1) << uint(i)
+				}
+				tab := b.bramTab[item.Index]
+				if over != nil && over[L] != nil {
+					tab = over[L]
+				}
+				words[L] = tab[addr]
+			}
+			// Scatter the per-lane words back into bitsliced output nets:
+			// a 64x64 bit-matrix transpose turns "bit bi of words[L]" into
+			// "bit L of row bi" in one pass, far cheaper than a per-out
+			// per-lane gather loop. Rows for lanes >= b.lanes carry stale
+			// bits, which is harmless: bit L of any net only ever depends
+			// on bit L of other nets, and ReadLanes masks to active lanes.
+			transpose64(&b.words)
+			for bi, out := range rec.Out {
+				nets[out] = b.words[bi]
+			}
+		case bitstream.EvalAdder:
+			rec := &b.desc.Adders[item.Index]
+			var carry uint64
+			for i := range rec.A {
+				av, bv := nets[rec.A[i]], nets[rec.B[i]]
+				x := av ^ bv
+				nets[rec.Sum[i]] = x ^ carry
+				carry = av&bv | carry&x
+			}
+		}
+	}
+	b.dirty = false
+	b.primed = true
+}
+
+// transpose64 transposes a 64x64 bit matrix in place (the recursive
+// block-swap of Hacker's Delight 7-3, in LSB-first orientation): after
+// the call, bit L of row bi is the old bit bi of row L.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		// k walks the rows whose index has bit j clear; each pairs with
+		// row k+j to swap the off-diagonal sub-blocks.
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k]>>j ^ a[k+int(j)]) & m
+			a[k] ^= t << j
+			a[k+int(j)] ^= t
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// reduce collapses the first 1<<k transposed truth-table rows through a
+// mux tree addressed by the LUT's input nets — the bitsliced equivalent
+// of TT.Eval over k inputs for all lanes at once.
+func (b *Batch) reduce(rows []uint64, k int, inputs []uint32) uint64 {
+	if k == 0 {
+		return rows[0]
+	}
+	// The top mux level reads straight from the rows, halving the work
+	// compared to copying all 1<<k rows into scratch first.
+	half := 1 << uint(k-1)
+	sel := b.nets[inputs[k-1]]
+	v := b.scratch[:half]
+	for m := 0; m < half; m++ {
+		v[m] = sel&rows[m|half] | ^sel&rows[m]
+	}
+	for j := k - 2; j >= 0; j-- {
+		sel = b.nets[inputs[j]]
+		half >>= 1
+		for m := 0; m < half; m++ {
+			v[m] = sel&v[m|half] | ^sel&v[m]
+		}
+	}
+	return v[0]
+}

@@ -79,11 +79,14 @@ func (f *FPGA) SideChannelKey() [bitstream.KeySize]byte { return f.kE }
 // Load configures the device from a bitstream. Encrypted images are
 // decrypted with the eFuse key and authenticated (HMAC failure aborts
 // configuration, as reported in BOOTSTS); plain images are CRC checked
-// (mismatch pulls INIT_B low and aborts).
+// (mismatch pulls INIT_B low and aborts). Configuration is atomic: a
+// failed Load leaves a cleared, unconfigured fabric — never a partially
+// decoded one — mirroring the house-cleaning pass real devices run
+// before writing frames.
 func (f *FPGA) Load(img []byte) error {
 	f.loaded = false
 	f.status = BootStatus{}
-	f.ffState = nil // full configuration resets all registers
+	f.clear() // full reconfiguration starts from a cleared fabric
 	packets := img
 	if bitstream.IsEncrypted(img) {
 		plain, _, macOK, err := bitstream.Open(img, f.kE)
@@ -104,30 +107,55 @@ func (f *FPGA) Load(img []byte) error {
 	if err != nil {
 		return fmt.Errorf("device: %w", err)
 	}
-	if err := f.configure(p.FDRI(packets)); err != nil {
+	cfg, err := decodeConfig(p.FDRI(packets))
+	if err != nil {
 		return err
 	}
+	f.commit(cfg, false)
 	f.loaded = true
 	f.status.Configured = true
 	return nil
 }
 
-// configure decodes a frame region into the live configuration.
-func (f *FPGA) configure(fdri []byte) error {
+// clear wipes the live configuration.
+func (f *FPGA) clear() {
+	f.desc = nil
+	f.lutTT = nil
+	f.bramTab = nil
+	f.inPins = nil
+	f.outPins = nil
+	f.nets = nil
+	f.ffState = nil
+	f.fdri = nil
+	f.dirty = false
+}
+
+// config is a fully decoded frame region, staged before being committed
+// to the live fabric.
+type config struct {
+	desc    *bitstream.Description
+	lutTT   []boolfn.TT
+	bramTab [][]uint64
+	fdri    []byte // owned copy
+}
+
+// decodeConfig decodes a frame region without touching the live
+// configuration, so errors cannot leave a partially-written fabric.
+func decodeConfig(fdri []byte) (*config, error) {
 	regions, err := bitstream.ParseRegions(fdri)
 	if err != nil {
-		return fmt.Errorf("device: %w", err)
+		return nil, fmt.Errorf("device: %w", err)
 	}
 	desc, err := bitstream.UnmarshalDescription(fdri[regions.DescOff : regions.DescOff+regions.DescLen])
 	if err != nil {
-		return fmt.Errorf("device: %w", err)
+		return nil, fmt.Errorf("device: %w", err)
 	}
 	clb := fdri[regions.CLBOff : regions.CLBOff+regions.CLBLen]
 	lutTT := make([]boolfn.TT, len(desc.LUTs))
 	for i, rec := range desc.LUTs {
 		tt, err := bitstream.ReadLUT(clb, rec.Loc)
 		if err != nil {
-			return fmt.Errorf("device: LUT %d: %w", i, err)
+			return nil, fmt.Errorf("device: LUT %d: %w", i, err)
 		}
 		lutTT[i] = tt
 	}
@@ -136,7 +164,7 @@ func (f *FPGA) configure(fdri []byte) error {
 	for i, rec := range desc.BRAMs {
 		entries := 1 << len(rec.Addr)
 		if rec.ContentOff+8*entries > len(bram) {
-			return fmt.Errorf("device: BRAM %d content out of range", i)
+			return nil, fmt.Errorf("device: BRAM %d content out of range", i)
 		}
 		tab := make([]uint64, entries)
 		for e := 0; e < entries; e++ {
@@ -145,37 +173,49 @@ func (f *FPGA) configure(fdri []byte) error {
 		bramTab[i] = tab
 	}
 	if err := validate(desc); err != nil {
-		return fmt.Errorf("device: %w", err)
+		return nil, fmt.Errorf("device: %w", err)
 	}
-	f.desc = desc
-	f.lutTT = lutTT
-	f.bramTab = bramTab
+	return &config{
+		desc:    desc,
+		lutTT:   lutTT,
+		bramTab: bramTab,
+		fdri:    append([]byte(nil), fdri...),
+	}, nil
+}
+
+// commit installs a staged configuration. Partial reconfiguration
+// preserves register state when the register structure is unchanged; a
+// full (re)configuration resets it.
+func (f *FPGA) commit(cfg *config, preserveFF bool) {
+	f.desc = cfg.desc
+	f.lutTT = cfg.lutTT
+	f.bramTab = cfg.bramTab
+	f.fdri = cfg.fdri
 	f.inPins = map[string]uint32{}
 	f.outPins = map[string]uint32{}
-	for _, port := range desc.Ports {
+	for _, port := range cfg.desc.Ports {
 		if port.Dir == bitstream.In {
 			f.inPins[port.Name] = port.Net
 		} else {
 			f.outPins[port.Name] = port.Net
 		}
 	}
-	f.nets = make([]bool, desc.NumNets)
-	// Partial reconfiguration preserves register state when the register
-	// structure is unchanged; a full (re)configuration resets it.
-	if len(f.ffState) != len(desc.FFs) {
-		f.ffState = make([]bool, len(desc.FFs))
+	f.nets = make([]bool, cfg.desc.NumNets)
+	if !preserveFF || len(f.ffState) != len(cfg.desc.FFs) {
+		f.ffState = make([]bool, len(cfg.desc.FFs))
 		f.Reset()
 	}
-	f.fdri = append(f.fdri[:0], fdri...)
 	f.dirty = true
-	return nil
 }
 
 // PartialReconfig overwrites one configuration frame of the running
 // device — the JTAG FAR + FDRI single-frame write. Untouched registers
 // keep their state, so faults can be injected without a full
 // reconfiguration cycle. Refused for secured (encrypted-boot) devices,
-// as on real silicon.
+// as on real silicon. The write is atomic: the patched region is decoded
+// into a staged configuration first, so a rejected frame leaves the
+// running configuration — including register state and readback —
+// completely untouched.
 func (f *FPGA) PartialReconfig(frame int, data []byte) error {
 	if !f.loaded {
 		return errors.New("device: partial reconfiguration before configuration")
@@ -189,12 +229,13 @@ func (f *FPGA) PartialReconfig(frame int, data []byte) error {
 	if frame < 0 || (frame+1)*bitstream.FrameBytes > len(f.fdri) {
 		return fmt.Errorf("device: frame address %d out of range", frame)
 	}
-	old := append([]byte(nil), f.fdri[frame*bitstream.FrameBytes:(frame+1)*bitstream.FrameBytes]...)
-	copy(f.fdri[frame*bitstream.FrameBytes:], data)
-	if err := f.configure(f.fdri); err != nil {
-		copy(f.fdri[frame*bitstream.FrameBytes:], old)
+	staged := append([]byte(nil), f.fdri...)
+	copy(staged[frame*bitstream.FrameBytes:], data)
+	cfg, err := decodeConfig(staged)
+	if err != nil {
 		return err
 	}
+	f.commit(cfg, true)
 	return nil
 }
 

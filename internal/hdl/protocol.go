@@ -70,6 +70,78 @@ func GenerateKeystream(dev Device, iv snow3g.IV, n int) []uint32 {
 	return z
 }
 
+// BatchDevice abstracts a bitsliced multi-lane device: every pin
+// carries a lane mask whose bit L is the value in lane L. The
+// device.Batch evaluator implements it.
+type BatchDevice interface {
+	SetInputLanes(name string, mask uint64)
+	ClockBatch()
+	ReadLanes(name string) uint64
+	Lanes() int
+}
+
+// setWordLanes drives an input word port with the same value on every
+// lane (the control protocol and IV are common to all candidates).
+func setWordLanes(dev BatchDevice, port string, v uint32) {
+	for i := 0; i < 32; i++ {
+		var mask uint64
+		if v>>uint(i)&1 == 1 {
+			mask = ^uint64(0)
+		}
+		dev.SetInputLanes(fmt.Sprintf("%s[%d]", port, i), mask)
+	}
+}
+
+func setControlsLanes(dev BatchDevice, load, init, run, gen bool) {
+	all := func(v bool) uint64 {
+		if v {
+			return ^uint64(0)
+		}
+		return 0
+	}
+	dev.SetInputLanes(PortLoad, all(load))
+	dev.SetInputLanes(PortInit, all(init))
+	dev.SetInputLanes(PortRun, all(run))
+	dev.SetInputLanes(PortGen, all(gen))
+}
+
+// GenerateKeystreamBatch drives the same SNOW 3G control protocol as
+// GenerateKeystream on a bitsliced batch device and returns one
+// keystream slice per lane: out[L][t] is keystream word t of lane L.
+// Every lane sees identical inputs; lanes differ only through their
+// configuration patches, so lane L's output equals what GenerateKeystream
+// would produce on a scalar device loaded with lane L's image.
+func GenerateKeystreamBatch(dev BatchDevice, iv snow3g.IV, n int) [][]uint32 {
+	for i := 0; i < 4; i++ {
+		setWordLanes(dev, IVPort(i), iv[i])
+	}
+	setControlsLanes(dev, true, false, true, false)
+	dev.ClockBatch()
+	setControlsLanes(dev, false, true, true, false)
+	for i := 0; i < 32; i++ {
+		dev.ClockBatch()
+	}
+	setControlsLanes(dev, false, false, true, true)
+	dev.ClockBatch()
+	lanes := dev.Lanes()
+	out := make([][]uint32, lanes)
+	for L := range out {
+		out[L] = make([]uint32, n)
+	}
+	for t := 0; t < n; t++ {
+		dev.ClockBatch()
+		for i := 0; i < 32; i++ {
+			mask := dev.ReadLanes(fmt.Sprintf("%s[%d]", PortZ, i))
+			for L := 0; L < lanes; L++ {
+				if mask>>uint(L)&1 == 1 {
+					out[L][t] |= 1 << uint(i)
+				}
+			}
+		}
+	}
+	return out
+}
+
 // SimDevice adapts a netlist simulator to the Device interface for
 // netlist-level (pre-bitstream) validation.
 type SimDevice struct {

@@ -59,6 +59,9 @@ func Attack(rep *core.Report) string {
 	if rep.Scan.Passes > 0 {
 		b.WriteString(ScanStats(rep.Scan))
 	}
+	if rep.Batch.Passes > 0 {
+		b.WriteString(BatchStats(rep.Batch))
+	}
 	b.WriteString("key-independent keystream (Table III analogue):\n")
 	b.WriteString(Keystream(rep.KeyIndependent))
 	b.WriteString("faulty keystream (Table IV analogue):\n")
@@ -88,6 +91,26 @@ func ScanStats(s core.ScanStats) string {
 	}
 	fmt.Fprintf(&b, "  time:                compile %v, scan %v\n",
 		s.CompileTime.Round(time.Microsecond), s.ScanTime.Round(time.Microsecond))
+	return b.String()
+}
+
+// BatchStats renders the bitsliced candidate-sweep counters: fabric
+// passes actually executed by the simulator next to the modeled
+// hardware loads they stand in for, lane utilization, scalar fallbacks
+// and the incremental-reconfiguration fast-path hits.
+func BatchStats(s core.BatchStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch sweeps:          %d lane(s) wide, %d fabric pass(es), %d candidate lanes, %d scalar fallbacks\n",
+		s.Width, s.Passes, s.Lanes, s.Fallbacks)
+	fmt.Fprintf(&b, "  frame patches:       %d applied across all lanes\n", s.PatchedFrames)
+	if s.IncrementalReseals+s.FullReseals > 0 {
+		fmt.Fprintf(&b, "  reseal:              %d incremental, %d full\n",
+			s.IncrementalReseals, s.FullReseals)
+	}
+	if s.IncrementalCRCs+s.FullCRCs > 0 {
+		fmt.Fprintf(&b, "  crc recompute:       %d incremental, %d full\n",
+			s.IncrementalCRCs, s.FullCRCs)
+	}
 	return b.String()
 }
 

@@ -174,14 +174,36 @@ func (v *Victim) Keystream(iv IV, n int) []uint32 {
 // Report is the attack outcome (re-exported from the core package).
 type Report = core.Report
 
+// BatchStats is the bitsliced candidate-sweep accounting of a run:
+// fabric passes and lanes executed by the simulator, kept separate from
+// Report.Loads (modeled hardware reconfigurations, one per candidate).
+type BatchStats = core.BatchStats
+
+// MaxLanes is the lane capacity of the bitsliced candidate sweep: how
+// many virtual devices one simulator pass evaluates at most.
+const MaxLanes = device.MaxLanes
+
 // RunAttack executes the complete bitstream modification attack against
 // the victim: probe flash (decrypting via the side-channel oracle when
 // needed), disable the CRC, FINDLUT + verification for the z_t and
 // feedback paths, the key-independent exploration, fault injection and
-// LFSR rewind. logf may be nil.
+// LFSR rewind. logf may be nil. Candidate sweeps run at the full
+// MaxLanes width; use RunAttackLanes to control it.
 func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
+	return RunAttackLanes(v, iv, logf, MaxLanes)
+}
+
+// RunAttackLanes is RunAttack with an explicit candidate-sweep width:
+// how many modified bitstream variants one bitsliced simulator pass
+// evaluates (1..MaxLanes; 1 forces the scalar path). The width changes
+// only wall-clock time — Report.Loads and HardwareEstimate model
+// per-candidate hardware reconfigurations and are invariant under it.
+func RunAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
 	atk, err := core.NewAttack(v.Device, iv, logf)
 	if err != nil {
+		return nil, err
+	}
+	if err := atk.SetLanes(lanes); err != nil {
 		return nil, err
 	}
 	return atk.Run()
@@ -192,8 +214,17 @@ func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
 // structure and all fault tables are derived from the class functions —
 // no Table II guessing. See core.RunCensusGuided.
 func RunCensusAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
+	return RunCensusAttackLanes(v, iv, logf, MaxLanes)
+}
+
+// RunCensusAttackLanes is RunCensusAttack with an explicit
+// candidate-sweep width (see RunAttackLanes).
+func RunCensusAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
 	atk, err := core.NewAttack(v.Device, iv, logf)
 	if err != nil {
+		return nil, err
+	}
+	if err := atk.SetLanes(lanes); err != nil {
 		return nil, err
 	}
 	return atk.RunCensusGuided()

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: snowbma
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCandidateSweep/scalar-1         	      20	  38187869 ns/op
+BenchmarkCandidateSweep/batch-64         	      20	   7397025 ns/op
+BenchmarkClockBatch/lanes-64             	    1000	     43000 ns/op	       671.9 ns/lane-cycle
+--- BENCH: some stray log line
+PASS
+ok  	snowbma	6.825s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "snowbma" {
+		t.Fatalf("header mismatch: %+v", doc)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("expected 3 results, got %d: %+v", len(doc.Results), doc.Results)
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkCandidateSweep/scalar-1" || r.Runs != 20 {
+		t.Fatalf("first result mismatch: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 38187869 {
+		t.Fatalf("ns/op mismatch: %v", r.Metrics)
+	}
+	lane := doc.Results[2]
+	if lane.Metrics["ns/lane-cycle"] != 671.9 {
+		t.Fatalf("custom metric not parsed: %v", lane.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	doc, err := Parse(strings.NewReader("BenchmarkBroken abc 1 ns/op\nBenchmarkNoMetrics 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("malformed lines accepted: %+v", doc.Results)
+	}
+}
