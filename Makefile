@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test tier1 race bench bench-json fuzz clean
+.PHONY: all build vet test tier1 race bench bench-json trace-smoke fuzz clean
 
 all: tier1
 
@@ -26,13 +26,27 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json runs the batch-vs-scalar sweep benchmarks and commits the
-# numbers as machine-readable JSON (the EXPERIMENTS.md evidence file).
+# bench-json runs the evidence benchmarks and commits the numbers as
+# machine-readable JSON (the EXPERIMENTS.md evidence file). PR3 adds the
+# traced end-to-end variant, so batch-64 vs batch-64-traced in
+# BENCH_PR3.json pins the telemetry overhead (budget: <5%).
 BENCH_PR2 = BenchmarkAttackEndToEnd|BenchmarkCandidateSweep|BenchmarkClockBatch|BenchmarkScannerBatchVsSequential|BenchmarkFindLUT10MB
+BENCH_PR3 = BenchmarkAttackEndToEnd
 bench-json:
-	$(GO) test -run xxx -bench '$(BENCH_PR2)' -benchtime 10x . \
-		| $(GO) run ./tools/benchjson -o BENCH_PR2.json
-	@cat BENCH_PR2.json
+	$(GO) test -run xxx -bench '$(BENCH_PR3)' -benchtime 10x . \
+		| $(GO) run ./tools/benchjson -o BENCH_PR3.json
+	@cat BENCH_PR3.json
+
+# trace-smoke exercises the observability path end to end: run the
+# attack with -trace, then feed the NDJSON through the independent
+# tracestat decoder. Either tool failing (or an empty trace) fails the
+# target — this is the CI guard that the trace format and its reader
+# never drift apart.
+trace-smoke:
+	$(GO) run ./cmd/snowbma attack -trace /tmp/snowbma-trace.ndjson > /dev/null
+	@test -s /tmp/snowbma-trace.ndjson || { echo "empty trace"; exit 1; }
+	$(GO) run ./tools/tracestat /tmp/snowbma-trace.ndjson
+	$(GO) test -run xxx -bench 'BenchmarkAttackEndToEnd/batch-64' -benchtime 3x .
 
 # Short fuzz pass over the scanner differential target.
 fuzz:

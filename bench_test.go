@@ -154,16 +154,26 @@ func BenchmarkEndToEndAttack(b *testing.B) {
 // scalar device (one full load + settle walk per candidate), lanes-64
 // packs up to 64 candidates into each bitsliced fabric pass. Both
 // recover the same key with identical Report.Loads; only wall-clock
-// changes — the ratio is the PR's headline speedup.
+// changes — the ratio is the PR's headline speedup. The traced variant
+// reruns the batch width with a live telemetry handle (fresh tracer,
+// metrics registry, span per phase and per chunk) so batch-64 vs
+// batch-64-traced pins the observability overhead — the budget is <5%.
 func BenchmarkAttackEndToEnd(b *testing.B) {
 	u, _, _ := fixtures(b)
 	for _, bc := range []struct {
-		name  string
-		lanes int
-	}{{"scalar-1", 1}, {"batch-64", 64}} {
+		name   string
+		lanes  int
+		traced bool
+	}{{"scalar-1", 1, false}, {"batch-64", 64, false}, {"batch-64-traced", 64, true}} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := RunAttackLanes(u, PaperIV, nil, bc.lanes)
+				var rep *Report
+				var err error
+				if bc.traced {
+					rep, err = RunAttackTraced(u, PaperIV, nil, bc.lanes, NewTelemetry())
+				} else {
+					rep, err = RunAttackLanes(u, PaperIV, nil, bc.lanes)
+				}
 				if err != nil {
 					b.Fatal(err)
 				}

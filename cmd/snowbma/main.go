@@ -5,8 +5,8 @@
 // Usage:
 //
 //	snowbma synth      [-protected] [-key k0,k1,k2,k3] [-pad N] [-o out.bit]
-//	snowbma attack     [-protected] [-encrypted] [-census] [-lanes N] [-stats] [-key ...] [-iv ...] [-v]
-//	snowbma findlut    -bits file [-f expr] [-parallel N] [-stats]
+//	snowbma attack     [-protected] [-encrypted] [-census] [-lanes N] [-stats] [-trace file] [-key ...] [-iv ...] [-v]
+//	snowbma findlut    -bits file [-f expr] [-parallel N] [-stats] [-trace file]
 //	snowbma table2     [-key ...] [-stats]
 //	snowbma table6     [-key ...] [-stats]
 //	snowbma keystream  [-key ...] [-iv ...] [-n 16] [-stuck-init] [-stuck-gen] [-zero-lfsr]
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -139,6 +140,58 @@ func readBitstream(cmd, path string) ([]byte, error) {
 	return bits, nil
 }
 
+// ErrTracePath is the named validation error for the -trace flag, in
+// the same spirit as core.ErrLanes: callers (and tests) can match it
+// with errors.Is regardless of the wrapping command.
+var ErrTracePath = errors.New("invalid -trace path")
+
+// traceFlag registers the shared -trace flag.
+func traceFlag(fs *flag.FlagSet) *string {
+	return fs.String("trace", "", "write an NDJSON telemetry trace (phase spans + metrics) to this file")
+}
+
+// openTrace validates the -trace argument and opens the output file up
+// front, so an unwritable path fails before any attack work instead of
+// after it. An unset flag returns a nil file (tracing off); an
+// explicitly empty or unwritable path is a named ErrTracePath error.
+func openTrace(cmd string, fs *flag.FlagSet, path string) (*os.File, error) {
+	set := false
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "trace" {
+			set = true
+		}
+	})
+	if !set {
+		return nil, nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("%s: %w: path must not be empty", cmd, ErrTracePath)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w: %v", cmd, ErrTracePath, err)
+	}
+	return f, nil
+}
+
+// writeTrace exports tel to the open trace file and closes it. Export
+// and close errors fail the command — a truncated trace must not pass
+// silently.
+func writeTrace(f *os.File, tel *snowbma.Telemetry) error {
+	if f == nil {
+		return nil
+	}
+	if err := snowbma.WriteTrace(f, tel); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", f.Name(), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing trace %s: %w", f.Name(), err)
+	}
+	fmt.Printf("wrote trace %s\n", f.Name())
+	return nil
+}
+
 // positive validates an integer flag that must be ≥ 1.
 func positive(cmd, name string, v int) error {
 	if v < 1 {
@@ -195,11 +248,16 @@ func cmdAttack(args []string) error {
 	census := fs.Bool("census", false, "use census-guided discovery instead of the Table II catalogue")
 	lanes := fs.Int("lanes", snowbma.MaxLanes, "candidate-sweep width: simulator lanes per fabric pass (1 = scalar)")
 	stats := fs.Bool("stats", false, "print scan-engine and batch-sweep counters even on failure")
+	tracePath := traceFlag(fs)
 	keyStr := keyFlag(fs)
 	ivStr := ivFlag(fs)
 	_ = fs.Parse(args)
 	if *lanes < 1 || *lanes > snowbma.MaxLanes {
 		return fmt.Errorf("attack: -lanes must be between 1 and %d, got %d", snowbma.MaxLanes, *lanes)
+	}
+	traceFile, err := openTrace("attack", fs, *tracePath)
+	if err != nil {
+		return err
 	}
 	key, err := parseWords(*keyStr, snowbma.PaperKey)
 	if err != nil {
@@ -223,11 +281,21 @@ func cmdAttack(args []string) error {
 	if *verbose {
 		logf = func(f string, a ...any) { fmt.Printf("  [attack] "+f+"\n", a...) }
 	}
+	var tel *snowbma.Telemetry
+	if traceFile != nil || *stats {
+		tel = snowbma.NewTelemetry()
+	}
 	var rep *snowbma.Report
 	if *census {
-		rep, err = snowbma.RunCensusAttackLanes(victim, iv, logf, *lanes)
+		rep, err = snowbma.RunCensusAttackTraced(victim, iv, logf, *lanes, tel)
 	} else {
-		rep, err = snowbma.RunAttackLanes(victim, iv, logf, *lanes)
+		rep, err = snowbma.RunAttackTraced(victim, iv, logf, *lanes, tel)
+	}
+	// The trace is written whatever the attack outcome — a failed run's
+	// trace is exactly the one worth reading — and a truncated trace
+	// fails the command even when the attack succeeded.
+	if terr := writeTrace(traceFile, tel); terr != nil {
+		return terr
 	}
 	if err != nil {
 		if rep != nil {
@@ -235,12 +303,16 @@ func cmdAttack(args []string) error {
 			if *stats {
 				fmt.Print(report.ScanStats(rep.Scan))
 				fmt.Print(report.BatchStats(rep.Batch))
+				fmt.Print(report.Trace(tel))
 			}
 		}
 		return fmt.Errorf("attack failed (as expected for -protected): %w", err)
 	}
 	// The success report carries the scan and batch-sweep sections.
 	fmt.Print(report.Attack(rep))
+	if *stats {
+		fmt.Print(report.Trace(tel))
+	}
 	if *verbose {
 		fmt.Println("\nidentified covers (Fig 5 analogue):")
 		fmt.Print(report.Fig5(rep))
@@ -254,17 +326,29 @@ func cmdFindLUT(args []string) error {
 	expr := fs.String("f", "(a1^a2^a3)a4a5!a6", "Boolean function over a1..a6, or an INIT literal 64'h...")
 	parallel := fs.Int("parallel", 0, "scan worker goroutines (0 = all CPUs)")
 	stats := fs.Bool("stats", false, "print scan-engine counters")
+	tracePath := traceFlag(fs)
 	_ = fs.Parse(args)
 	if *parallel < 0 {
 		return fmt.Errorf("findlut: -parallel must be non-negative, got %d (0 means all CPUs)", *parallel)
+	}
+	traceFile, err := openTrace("findlut", fs, *tracePath)
+	if err != nil {
+		return err
 	}
 	bits, err := readBitstream("findlut", *file)
 	if err != nil {
 		return err
 	}
-	hits, st, err := snowbma.FindFunctionStats(bits, *expr, *parallel)
+	var tel *snowbma.Telemetry
+	if traceFile != nil || *stats {
+		tel = snowbma.NewTelemetry()
+	}
+	hits, st, err := snowbma.FindFunctionTraced(bits, *expr, *parallel, tel)
 	if err != nil {
 		return err
+	}
+	if terr := writeTrace(traceFile, tel); terr != nil {
+		return terr
 	}
 	fmt.Printf("%d candidate LUTs for %s:\n", len(hits), *expr)
 	for _, l := range hits {
@@ -272,6 +356,7 @@ func cmdFindLUT(args []string) error {
 	}
 	if *stats {
 		fmt.Print(report.ScanStats(st))
+		fmt.Print(report.Trace(tel))
 	}
 	return nil
 }
@@ -456,17 +541,34 @@ func cmdCensus(args []string) error {
 	fs := flag.NewFlagSet("census", flag.ExitOnError)
 	file := fs.String("bits", "", "bitstream file")
 	min := fs.Int("min", 8, "minimum class population")
+	tracePath := traceFlag(fs)
 	_ = fs.Parse(args)
 	if err := positive("census", "min", *min); err != nil {
+		return err
+	}
+	traceFile, err := openTrace("census", fs, *tracePath)
+	if err != nil {
 		return err
 	}
 	bits, err := readBitstream("census", *file)
 	if err != nil {
 		return err
 	}
+	var tel *snowbma.Telemetry
+	if traceFile != nil {
+		tel = snowbma.NewTelemetry()
+	}
+	span := tel.StartSpan("census.scan")
 	classes, err := core.CensusCandidates(bits, *min)
+	span.SetAttr("bytes", len(bits))
+	span.SetAttr("classes", len(classes))
+	span.End()
 	if err != nil {
 		return err
+	}
+	tel.Gauge("census.classes").Set(float64(len(classes)))
+	if terr := writeTrace(traceFile, tel); terr != nil {
+		return terr
 	}
 	fmt.Printf("%d XOR-structured classes with ≥ %d members:\n", len(classes), *min)
 	for _, c := range classes {

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+
+	"snowbma/internal/obs"
 )
 
 // The attack reseals (or re-CRCs) thousands of candidate images that
@@ -43,6 +45,9 @@ type Resealer struct {
 	// Incremental and Full count fast-path and fallback reseals.
 	Incremental int
 	Full        int
+	// Tel optionally mirrors the counters above live into a metrics
+	// registry (bitstream.reseal.*) and records reseal spans. Nil-safe.
+	Tel *obs.Telemetry
 }
 
 // NewResealer checkpoints the HMAC and ciphertext of the base packets.
@@ -96,6 +101,22 @@ func NewResealer(base []byte, kE, kA [KeySize]byte, cbcIV [16]byte) (*Resealer, 
 // not mutate it).
 func (r *Resealer) SealedBase() []byte { return r.sealed }
 
+// Checkpoints reports the number of HMAC midstate snapshots held for the
+// base image (observability).
+func (r *Resealer) Checkpoints() int { return len(r.inner) }
+
+// countIncremental / countFull keep the struct counters and the live
+// registry mirror equal by construction.
+func (r *Resealer) countIncremental() {
+	r.Incremental++
+	r.Tel.Counter("bitstream.reseal.incremental").Inc()
+}
+
+func (r *Resealer) countFull() {
+	r.Full++
+	r.Tel.Counter("bitstream.reseal.full").Inc()
+}
+
 // tag computes HMAC-SHA256(kA, mod) resuming from the midstate
 // checkpoint at or before the first byte where mod differs from base.
 func (r *Resealer) tag(mod []byte, firstDiff int) ([]byte, error) {
@@ -119,17 +140,17 @@ func (r *Resealer) tag(mod []byte, firstDiff int) ([]byte, error) {
 // CBC chains). Any other shape falls back to a full Seal.
 func (r *Resealer) ResealFrames(mod []byte) ([]byte, error) {
 	if len(mod) != len(r.base) {
-		r.Full++
+		r.countFull()
 		return Seal(mod, r.kE, r.kA, r.cbcIV)
 	}
 	f0 := firstDiff(r.base, mod)
 	if f0 < 0 {
-		r.Incremental++
+		r.countIncremental()
 		return append([]byte(nil), r.sealed...), nil
 	}
 	tag, err := r.tag(mod, f0)
 	if err != nil {
-		r.Full++
+		r.countFull()
 		return Seal(mod, r.kE, r.kA, r.cbcIV)
 	}
 	// Rebuild the plaintext body: kA ‖ len ‖ mod ‖ kA ‖ tag ‖ pad.
@@ -157,7 +178,7 @@ func (r *Resealer) ResealFrames(mod []byte) ([]byte, error) {
 		iv = out[20+(blk-1)*aes.BlockSize : 20+blk*aes.BlockSize]
 	}
 	cipher.NewCBCEncrypter(r.block, iv).CryptBlocks(out[20+blk*aes.BlockSize:], body[blk*aes.BlockSize:])
-	r.Incremental++
+	r.countIncremental()
 	return out, nil
 }
 
@@ -258,6 +279,25 @@ type CRCCache struct {
 	// Incremental and Full count fast-path and fallback recomputes.
 	Incremental int
 	Full        int
+	// Tel optionally mirrors the counters above live into a metrics
+	// registry (bitstream.crc.*). Nil-safe.
+	Tel *obs.Telemetry
+}
+
+// Checkpoints reports the number of CRC fold-state checkpoints held for
+// the base image (observability).
+func (c *CRCCache) Checkpoints() int { return len(c.states) }
+
+// countIncremental / countFull keep the struct counters and the live
+// registry mirror equal by construction.
+func (c *CRCCache) countIncremental() {
+	c.Incremental++
+	c.Tel.Counter("bitstream.crc.incremental").Inc()
+}
+
+func (c *CRCCache) countFull() {
+	c.Full++
+	c.Tel.Counter("bitstream.crc.full").Inc()
 }
 
 // NewCRCCache replays the base image once, checkpointing fold states and
@@ -407,7 +447,7 @@ func (c *CRCCache) finish(chunkFold []uint32, tailMat crcMat, tailAdd uint32) {
 // length fall back to the full replay.
 func (c *CRCCache) RecomputeCRC(mod []byte) error {
 	if len(mod) != len(c.base) || !c.sameOutsideFDRI(mod) {
-		c.Full++
+		c.countFull()
 		return RecomputeCRC(mod)
 	}
 	fb := c.p.FDRI(c.base)
@@ -442,7 +482,7 @@ func (c *CRCCache) RecomputeCRC(mod []byte) error {
 		crc = c.mats[e].apply(v) ^ c.adds[e]
 	}
 	binary.BigEndian.PutUint32(mod[c.p.CRCOffset+4:], crc)
-	c.Incremental++
+	c.countIncremental()
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
 	"snowbma/internal/hdl"
+	"snowbma/internal/obs"
 	"snowbma/internal/snow3g"
 )
 
@@ -78,9 +79,14 @@ func (r *Report) HardwareEstimate(secondsPerLoad float64) float64 {
 
 // Attack drives the end-to-end bitstream modification attack.
 type Attack struct {
-	dev  Victim
-	iv   snow3g.IV
-	logf func(format string, args ...any)
+	dev Victim
+	iv  snow3g.IV
+	// log is the structured leveled logger (nil-safe); NewAttack wraps a
+	// legacy printf-style callback into one, preserving its signature.
+	log *obs.Logger
+	// tel is the optional telemetry handle: phase spans and the metrics
+	// registry backing the report counters (SetTelemetry).
+	tel *obs.Telemetry
 
 	plain []byte // pristine plaintext packets
 	env   *envelope
@@ -142,10 +148,7 @@ func NewAttack(dev Victim, iv snow3g.IV, logf func(string, ...any)) (*Attack, er
 // options; encrypted images ignore the choice (their CRC is disabled by
 // default, integrity riding on the HMAC).
 func NewAttackCRCMode(dev Victim, iv snow3g.IV, logf func(string, ...any), recompute bool) (*Attack, error) {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	a := &Attack{dev: dev, iv: iv, logf: logf, recomputeCRC: recompute, lanes: DefaultLanes}
+	a := &Attack{dev: dev, iv: iv, log: obs.NewFuncLogger(logf), recomputeCRC: recompute, lanes: DefaultLanes}
 	a.rep.Batch.Width = a.lanes
 	img := dev.ReadFlash()
 	if len(img) == 0 {
@@ -160,13 +163,13 @@ func NewAttackCRCMode(dev Victim, iv snow3g.IV, logf func(string, ...any), recom
 		if err != nil {
 			return nil, fmt.Errorf("core: decrypting bitstream: %w", err)
 		}
-		a.logf("recovered bitstream key K_E via side channel; K_A read from plaintext copies")
+		a.log.Infof("recovered bitstream key K_E via side channel; K_A read from plaintext copies")
 		a.plain = plain
 		a.env = &envelope{kE: kE, kA: kA, cbcIV: cbcIV}
 	} else {
 		a.plain = append([]byte(nil), img...)
 		if a.recomputeCRC {
-			a.logf("CRC mode: recompute and replace on every modified copy")
+			a.log.Infof("CRC mode: recompute and replace on every modified copy")
 		} else {
 			// Section V-B: disable the configuration CRC once; every
 			// modified copy derived from a.plain then loads without
@@ -174,7 +177,7 @@ func NewAttackCRCMode(dev Victim, iv snow3g.IV, logf func(string, ...any), recom
 			if err := bitstream.DisableCRC(a.plain); err != nil {
 				return nil, fmt.Errorf("core: disabling CRC: %w", err)
 			}
-			a.logf("configuration CRC disabled (0x30000001 + CRC word zeroed)")
+			a.log.Infof("configuration CRC disabled (0x30000001 + CRC word zeroed)")
 		}
 	}
 	a.clbStart = -1
@@ -251,7 +254,7 @@ func (a *Attack) loadAndRun(b []byte, n int) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	a.rep.Loads++
+	a.countLoad()
 	return z, nil
 }
 
@@ -279,7 +282,10 @@ func (a *Attack) batchScan() {
 	if a.scanned != nil {
 		return
 	}
+	span := a.tel.StartSpan("attack.batch_scan")
+	defer span.End()
 	s := NewScanner(FindOptions{})
+	s.SetTelemetry(a.tel)
 	cands := boolfn.Candidates()
 	for _, c := range cands {
 		s.AddFunction(c.Name, c.TT)
@@ -299,7 +305,12 @@ func (a *Attack) batchScan() {
 	}
 	a.dualHits = res.DualHits["dualxor"]
 	a.rep.Scan.Accumulate(res.Stats)
-	a.logf("batch scan: %d functions + dual-XOR predicate in one pass (%d candidates, %d anchor hits, %d deep compares)",
+	span.SetAttr("functions", res.Stats.Functions)
+	span.SetAttr("candidates_compiled", res.Stats.CandidatesCompiled)
+	span.SetAttr("anchor_hits", res.Stats.AnchorHits)
+	span.SetAttr("deep_compares", res.Stats.DeepCompares)
+	a.publishStats()
+	a.log.Infof("batch scan: %d functions + dual-XOR predicate in one pass (%d candidates, %d anchor hits, %d deep compares)",
 		res.Stats.Functions, res.Stats.CandidatesCompiled, res.Stats.AnchorHits, res.Stats.DeepCompares)
 }
 
@@ -353,6 +364,8 @@ func (a *Attack) VerifyZPath() error {
 // verifyZPathWith runs the z-path verification for an arbitrary guessed
 // (or census-discovered) candidate function.
 func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
+	span := a.tel.StartSpan("attack.verify_zpath")
+	defer span.End()
 	clean, err := a.loadAndRun(a.working(), w)
 	if err != nil {
 		return fmt.Errorf("core: baseline keystream: %w", err)
@@ -361,7 +374,8 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 	cleanDead := deadColumns(clean)
 
 	cands := a.matchesFor(zfn)
-	a.logf("z_t path: %d f2 candidates", len(cands))
+	span.SetAttr("candidates", len(cands))
+	a.log.Infof("z_t path: %d f2 candidates", len(cands))
 	// One sweep over all candidates: up to 64 zeroed-LUT variants share
 	// each bitsliced fabric pass. Loads are counted on consumption so the
 	// overlap pruning below keeps its scalar accounting.
@@ -385,7 +399,7 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 		if err != nil {
 			continue // candidate bricks configuration: not a target
 		}
-		a.rep.Loads++
+		a.countLoad()
 		newDead := deadColumns(z) &^ cleanDead
 		if bits.OnesCount32(newDead) != 1 {
 			continue
@@ -407,8 +421,9 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 	if len(confirmed) != 32 {
 		return fmt.Errorf("core: z path verification confirmed %d LUTs, want 32", len(confirmed))
 	}
+	span.SetAttr("confirmed", len(confirmed))
 	a.rep.LUT1 = confirmed
-	a.logf("z_t path: confirmed 32 LUT1 instances")
+	a.log.Infof("z_t path: confirmed 32 LUT1 instances")
 	return nil
 }
 
@@ -416,6 +431,8 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 // f19 matches, discard any overlapping a confirmed LUT1, and check the
 // 32-candidate hypothesis.
 func (a *Attack) CollectFeedbackCandidates() error {
+	span := a.tel.StartSpan("attack.collect_feedback")
+	defer span.End()
 	prune := func(ms []Match) []Match {
 		var out []Match
 		for _, m := range ms {
@@ -435,7 +452,9 @@ func (a *Attack) CollectFeedbackCandidates() error {
 	a.batchScan()
 	l8 := prune(a.matchesFor(boolfn.F8))
 	l19 := prune(a.matchesFor(boolfn.F19))
-	a.logf("feedback path: %d f8 + %d f19 candidates", len(l8), len(l19))
+	span.SetAttr("f8", len(l8))
+	span.SetAttr("f19", len(l19))
+	a.log.Infof("feedback path: %d f8 + %d f19 candidates", len(l8), len(l19))
 	if len(l8)+len(l19) != 32 {
 		return fmt.Errorf("core: feedback candidates %d+%d != 32; hypothesis fails",
 			len(l8), len(l19))
@@ -501,6 +520,8 @@ type betaState struct {
 // Table III criterion). Both polarity hypotheses for the MUX control are
 // tried, as in the paper.
 func (a *Attack) MakeKeyIndependent() (*betaState, error) {
+	span := a.tel.StartSpan("attack.make_key_independent")
+	defer span.End()
 	a.batchScan()
 	specs := muxCatalogue()
 	var matches []Match
@@ -531,7 +552,8 @@ func (a *Attack) MakeKeyIndependent() (*betaState, error) {
 		}
 	}
 	a.rep.MuxMatches = len(matches)
-	a.logf("load-MUX search: %d matches across %d guessed shapes", len(matches), len(specs))
+	span.SetAttr("mux_matches", len(matches))
+	a.log.Infof("load-MUX search: %d matches across %d guessed shapes", len(matches), len(specs))
 	if len(matches) < 16*32/2 { // at least the 15 plain stages must show up
 		return nil, fmt.Errorf("core: only %d load-MUX candidates; design not recognized", len(matches))
 	}
@@ -551,6 +573,8 @@ func (a *Attack) resolveBeta(matches []Match, specOf []muxSpec) (*betaState, err
 // resolveBetaWith is resolveBeta with a caller-supplied α₁ application
 // (the census-guided flow derives its fault tables generically).
 func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha func([]byte)) (*betaState, error) {
+	span := a.tel.StartSpan("attack.resolve_beta", obs.KV("candidates", len(matches)))
+	defer span.End()
 	// Expected key-independent keystream from the software model
 	// (Section VI-D: LFSR all-0, FSM output stuck at 0 during init).
 	model := snow3g.New(snow3g.Fault{FSMStuckInit: true, LFSRZeroLoad: true})
@@ -596,7 +620,9 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 				keptSpecs = append(keptSpecs, specOf[i])
 			}
 		}
-		a.logf("key-independent keystream confirmed against software model (%s, %d candidates excluded)",
+		span.SetAttr("hypothesis", a.rep.MuxHypothesis)
+		span.SetAttr("excluded", len(skip))
+		a.log.Infof("key-independent keystream confirmed against software model (%s, %d candidates excluded)",
 			a.rep.MuxHypothesis, len(skip))
 		return &betaState{matches: kept, specs: keptSpecs, sel1: sel1, excluded: len(skip)}
 	}
@@ -614,7 +640,7 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 		z, err := swHyp.run(i)
 		s := -1
 		if err == nil {
-			a.rep.Loads++
+			a.countLoad()
 			s = score(z)
 		}
 		if s == perfect {
@@ -647,7 +673,7 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 			z, err := sw.run(k)
 			s := -1
 			if err == nil {
-				a.rep.Loads++
+				a.countLoad()
 				s = score(z)
 			}
 			if s == perfect {
@@ -663,7 +689,7 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 		}
 		skip[bestIdx] = true
 		bestScore += bestGain
-		a.logf("group test: excluding harmful MUX candidate at byte %d (+%d keystream bits)",
+		a.log.Infof("group test: excluding harmful MUX candidate at byte %d (+%d keystream bits)",
 			matches[bestIdx].Index, bestGain)
 	}
 	return nil, errors.New("core: key-independent keystream never matched the model; MUX identification failed")
@@ -681,6 +707,8 @@ func (a *Attack) IdentifyVPairs(beta *betaState) error {
 // identifyVPairsWith runs the two-keystream pin identification with
 // caller-supplied α₁ application and keep-variable fault tables.
 func (a *Attack) identifyVPairsWith(beta *betaState, applyAlpha func([]byte), keepFn func(int) boolfn.TT) error {
+	span := a.tel.StartSpan("attack.identify_vpairs", obs.KV("luts", len(a.rep.LUT1)))
+	defer span.End()
 	resolved := make([]int, len(a.rep.LUT1))
 	for i := range resolved {
 		resolved[i] = -1
@@ -705,7 +733,7 @@ func (a *Attack) identifyVPairsWith(beta *betaState, applyAlpha func([]byte), ke
 		if err != nil {
 			return fmt.Errorf("core: v-pair probe %d: %w", keep, err)
 		}
-		a.rep.Loads++
+		a.countLoad()
 		dead := deadColumns(z)
 		for li := range a.rep.LUT1 {
 			if resolved[li] == -1 && dead>>uint(a.rep.LUT1[li].Bit)&1 == 1 {
@@ -719,7 +747,7 @@ func (a *Attack) identifyVPairsWith(beta *betaState, applyAlpha func([]byte), ke
 		}
 		a.rep.LUT1[li].KeepVar = resolved[li]
 	}
-	a.logf("v-pair identification finished with 2 keystream computations (3^32 avoided)")
+	a.log.Infof("v-pair identification finished with 2 keystream computations (3^32 avoided)")
 	return nil
 }
 
@@ -734,6 +762,8 @@ func (a *Attack) ExtractKey() error {
 
 // extractKeyWith is ExtractKey with caller-supplied fault tables.
 func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn.TT) error {
+	span := a.tel.StartSpan("attack.extract_key")
+	defer span.End()
 	sw := a.newSweep(1, w, func(_ int, img []byte) {
 		applyAlpha(img)
 		for _, c := range a.rep.LUT1 {
@@ -744,7 +774,7 @@ func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn
 	if err != nil {
 		return fmt.Errorf("core: faulty keystream: %w", err)
 	}
-	a.rep.Loads++
+	a.countLoad()
 	a.rep.FaultyFinal = z
 	key, iv, s0, err := snow3g.RecoverFromKeystream(z)
 	if err != nil {
@@ -765,7 +795,8 @@ func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn
 		}
 	}
 	a.rep.Verified = true
-	a.logf("key recovered and verified: %08x %08x %08x %08x", key[0], key[1], key[2], key[3])
+	span.SetAttr("verified", true)
+	a.log.Infof("key recovered and verified: %08x %08x %08x %08x", key[0], key[1], key[2], key[3])
 	return nil
 }
 
@@ -774,13 +805,18 @@ func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn
 // device is returned to its legitimate user unchanged — even an aborted
 // attack must not leave a faulty configuration behind.
 func (a *Attack) Run() (rep *Report, err error) {
+	span := a.tel.StartSpan("attack.run")
 	defer func() {
 		a.baseLive = false
 		if restoreErr := a.dev.Load(a.dev.ReadFlash()); restoreErr != nil && err == nil {
 			err = fmt.Errorf("core: restoring original bitstream: %w", restoreErr)
 		}
+		span.SetAttr("loads", a.rep.Loads)
+		span.SetAttr("verified", a.rep.Verified)
+		span.End()
+		a.publishStats()
+		rep = a.rep.Clone()
 	}()
-	rep = &a.rep
 	a.CountCandidates()
 	if err = a.VerifyZPath(); err != nil {
 		return rep, err
@@ -801,5 +837,7 @@ func (a *Attack) Run() (rep *Report, err error) {
 	return rep, nil
 }
 
-// Report returns the accumulated report (useful after partial runs).
-func (a *Attack) Report() *Report { return &a.rep }
+// Report returns a defensive deep copy of the accumulated report
+// (useful after partial runs): mutating the returned value, including
+// its slices, cannot corrupt a subsequent Run.
+func (a *Attack) Report() *Report { return a.rep.Clone() }

@@ -7,6 +7,7 @@ import (
 	"snowbma/internal/bitstream"
 	"snowbma/internal/device"
 	"snowbma/internal/hdl"
+	"snowbma/internal/obs"
 )
 
 // The verification phases of the attack are candidate sweeps: many
@@ -126,6 +127,9 @@ func (a *Attack) ensureResealer() (*bitstream.Resealer, error) {
 	if !a.resealerTried {
 		a.resealerTried = true
 		a.resealer, a.resealerErr = bitstream.NewResealer(a.plain, a.env.kE, a.env.kA, a.env.cbcIV)
+		if a.resealer != nil {
+			a.resealer.Tel = a.tel
+		}
 	}
 	return a.resealer, a.resealerErr
 }
@@ -134,6 +138,9 @@ func (a *Attack) ensureCRCCache() (*bitstream.CRCCache, error) {
 	if !a.crcCacheTried {
 		a.crcCacheTried = true
 		a.crcCache, a.crcCacheErr = bitstream.NewCRCCache(a.plain)
+		if a.crcCache != nil {
+			a.crcCache.Tel = a.tel
+		}
 	}
 	return a.crcCache, a.crcCacheErr
 }
@@ -203,6 +210,9 @@ func (s *sweep) eval(i int) {
 	}
 	lo := i - i%s.a.lanes
 	hi := min(len(s.done), lo+s.a.lanes)
+	span := s.a.tel.StartSpan("sweep.chunk",
+		obs.KV("lo", lo), obs.KV("hi", hi))
+	defer span.End()
 	var idxs []int
 	var patches []bitstream.PatchSet
 	for j := lo; j < hi; j++ {
@@ -276,5 +286,6 @@ func (a *Attack) loadAndRunBatch(bl batchLoader, patches []bitstream.PatchSet, n
 	for _, ps := range patches {
 		a.rep.Batch.PatchedFrames += ps.Frames()
 	}
+	a.tel.Histogram("batch.lanes_per_pass").Observe(float64(len(patches)))
 	return zs, nil
 }

@@ -26,13 +26,18 @@ import (
 // catalogue (and is what defeats it — the countermeasure floods exactly
 // this analysis).
 func (a *Attack) RunCensusGuided() (rep *Report, err error) {
+	span := a.tel.StartSpan("attack.run_census")
 	defer func() {
 		a.baseLive = false
 		if restoreErr := a.dev.Load(a.dev.ReadFlash()); restoreErr != nil && err == nil {
 			err = fmt.Errorf("core: restoring original bitstream: %w", restoreErr)
 		}
+		span.SetAttr("loads", a.rep.Loads)
+		span.SetAttr("verified", a.rep.Verified)
+		span.End()
+		a.publishStats()
+		rep = a.rep.Clone()
 	}()
-	rep = &a.rep
 
 	classes, cerr := CensusAllClasses(a.plain, 8)
 	if cerr != nil {
@@ -42,6 +47,7 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 	// the per-class loops below read from the memo.
 	if len(classes) > 0 {
 		s := NewScanner(FindOptions{})
+		s.SetTelemetry(a.tel)
 		for i, c := range classes {
 			s.AddFunction(fmt.Sprintf("class%d", i), c.Canon)
 		}
@@ -79,7 +85,7 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 			fbClasses = append(fbClasses, c)
 		}
 	}
-	a.logf("census: %d z-class, %d feedback, %d mux candidates",
+	a.log.Infof("census: %d z-class, %d feedback, %d mux candidates",
 		len(zClasses), len(fbClasses), len(muxClasses))
 
 	// 1. z-path: the first class whose members verify to exactly 32.
@@ -206,7 +212,7 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 		a.rep.MuxMatches = len(matches)
 		beta, berr := a.resolveBetaWith(matches, specs, applyAlpha)
 		if berr != nil {
-			a.logf("census: feedback subset rejected by the Table III criterion; trying next")
+			a.log.Infof("census: feedback subset rejected by the Table III criterion; trying next")
 			continue
 		}
 		a.rep.LUT2 = append(a.rep.LUT2[:0], make([]Match, 0)...)

@@ -8,6 +8,7 @@ import (
 
 	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
+	"snowbma/internal/obs"
 )
 
 // This file is the batch scan engine behind every bitstream search in
@@ -117,6 +118,9 @@ type Scanner struct {
 	fns   []fnTarget
 	duals []dualTarget
 	byKey map[string]int // key → index into fns
+	// tel optionally traces the compile and walk phases of every Scan
+	// (SetTelemetry; nil-safe, zero overhead when unset).
+	tel *obs.Telemetry
 }
 
 // NewScanner creates an empty batch scanner with the given search
@@ -124,6 +128,14 @@ type Scanner struct {
 // searched with FindLUT(b, f, opt)).
 func NewScanner(opt FindOptions) *Scanner {
 	return &Scanner{opt: opt, byKey: map[string]int{}}
+}
+
+// SetTelemetry attaches a telemetry handle: each Scan then records a
+// scan.pass span with scan.compile / scan.walk children plus per-worker
+// scan.chunk spans. Returns the scanner for chaining.
+func (s *Scanner) SetTelemetry(tel *obs.Telemetry) *Scanner {
+	s.tel = tel
+	return s
 }
 
 // AddFunction registers f under key. Re-adding an existing key replaces
@@ -172,6 +184,9 @@ type dualHit struct {
 // scanner's options, and the dual hit lists to FindDualXOR over each
 // window.
 func (s *Scanner) Scan(b []byte) *ScanResult {
+	pass := s.tel.StartSpan("scan.pass",
+		obs.KV("functions", len(s.fns)), obs.KV("dual_targets", len(s.duals)))
+	defer pass.End()
 	res := &ScanResult{
 		Matches:  make(map[string][]Match, len(s.fns)),
 		DualHits: make(map[string][]int, len(s.duals)),
@@ -192,6 +207,7 @@ func (s *Scanner) Scan(b []byte) *ScanResult {
 	}
 
 	// --- Compile phase: one shared anchor index over all functions. ---
+	compileSpan := s.tel.StartSpan("scan.compile")
 	compileStart := time.Now()
 	catalogues := make([][]candidate, len(s.fns))
 	maxAnchor := 0
@@ -218,6 +234,8 @@ func (s *Scanner) Scan(b []byte) *ScanResult {
 		}
 	}
 	res.Stats.CompileTime = time.Since(compileStart)
+	compileSpan.SetAttr("candidates", res.Stats.CandidatesCompiled)
+	compileSpan.End()
 
 	// --- Window: partition exactly the scannable positions. An anchor
 	// probe at position p can only yield a base index l = p − anchor·d in
@@ -268,6 +286,8 @@ func (s *Scanner) Scan(b []byte) *ScanResult {
 	res.Stats.BytesScanned = int64(positions)
 	res.Stats.Passes = 1
 
+	walkSpan := s.tel.StartSpan("scan.walk",
+		obs.KV("workers", workers), obs.KV("positions", positions))
 	scanStart := time.Now()
 	var mu sync.Mutex
 	var allFn []fnHit
@@ -282,6 +302,8 @@ func (s *Scanner) Scan(b []byte) *ScanResult {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			cspan := s.tel.StartSpan("scan.chunk", obs.KV("lo", lo), obs.KV("hi", hi))
+			defer cspan.End()
 			var local []fnHit
 			var localDual []dualHit
 			var st ScanStats
@@ -327,6 +349,7 @@ func (s *Scanner) Scan(b []byte) *ScanResult {
 	}
 	wg.Wait()
 	res.Stats.ScanTime = time.Since(scanStart)
+	walkSpan.End()
 
 	// --- Demultiplex. Per function: sort by (index, candidate) and keep
 	// one match per index — Algorithm 1's marking, deterministically. ---
@@ -418,8 +441,10 @@ func catalogueFor(f boolfn.TT, opt FindOptions) ([]candidate, bool) {
 	cands, ok := catCache[key]
 	catMu.RUnlock()
 	if ok {
+		obs.Default().Counter("core.catalogue.hits").Inc()
 		return cands, true
 	}
+	obs.Default().Counter("core.catalogue.misses").Inc()
 	cands = buildCandidates(f, opt)
 	catMu.Lock()
 	if prior, raced := catCache[key]; raced {
@@ -427,6 +452,7 @@ func catalogueFor(f boolfn.TT, opt FindOptions) ([]candidate, bool) {
 	} else if len(catCache) < catCacheMax {
 		catCache[key] = cands
 	}
+	obs.Default().Gauge("core.catalogue.entries").Set(float64(len(catCache)))
 	catMu.Unlock()
 	return cands, false
 }

@@ -70,6 +70,8 @@ func (f *FPGA) BatchOf(patches []bitstream.PatchSet) (*Batch, error) {
 	if len(patches) < 1 || len(patches) > MaxLanes {
 		return nil, fmt.Errorf("device: lane count must be between 1 and %d, got %d", MaxLanes, len(patches))
 	}
+	f.tel.Counter("device.batch_passes").Inc()
+	f.tel.Counter("device.batch_lanes").Add(int64(len(patches)))
 	if !f.Loaded() {
 		return nil, fmt.Errorf("device: BatchOf before successful Load")
 	}

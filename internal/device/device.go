@@ -20,6 +20,7 @@ import (
 
 	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
+	"snowbma/internal/obs"
 )
 
 // BootStatus mirrors the configuration status signals the paper
@@ -50,7 +51,15 @@ type FPGA struct {
 	nets    []bool
 	ffState []bool
 	dirty   bool
+	// tel optionally records configuration-path spans and event counters
+	// (SetTelemetry; nil-safe, zero overhead when unset).
+	tel *obs.Telemetry
 }
+
+// SetTelemetry attaches a telemetry handle: Load, PartialReconfig and
+// Readback then record device.* spans and counters. Core attack code
+// forwards its handle here through the Victim interface assertion.
+func (f *FPGA) SetTelemetry(tel *obs.Telemetry) { f.tel = tel }
 
 // New creates a device whose eFuses hold kE (zero for unencrypted use).
 func New(kE [bitstream.KeySize]byte) *FPGA {
@@ -84,6 +93,9 @@ func (f *FPGA) SideChannelKey() [bitstream.KeySize]byte { return f.kE }
 // decoded one — mirroring the house-cleaning pass real devices run
 // before writing frames.
 func (f *FPGA) Load(img []byte) error {
+	span := f.tel.StartSpan("device.load", obs.KV("bytes", len(img)))
+	defer span.End()
+	f.tel.Counter("device.loads").Inc()
 	f.loaded = false
 	f.status = BootStatus{}
 	f.clear() // full reconfiguration starts from a cleared fabric
@@ -92,23 +104,28 @@ func (f *FPGA) Load(img []byte) error {
 		plain, _, macOK, err := bitstream.Open(img, f.kE)
 		if err != nil {
 			f.status.BootstsError = true
+			f.tel.Counter("device.load_errors").Inc()
 			return fmt.Errorf("device: decryption failed: %w", err)
 		}
 		if !macOK {
 			f.status.BootstsError = true
+			f.tel.Counter("device.load_errors").Inc()
 			return errors.New("device: HMAC verification failed (BOOTSTS=1), configuration aborted")
 		}
 		packets = plain
 	} else if err := bitstream.CheckCRC(img); err != nil {
 		f.status.InitBLow = true
+		f.tel.Counter("device.load_errors").Inc()
 		return fmt.Errorf("device: %w", err)
 	}
 	p, err := bitstream.ParsePackets(packets)
 	if err != nil {
+		f.tel.Counter("device.load_errors").Inc()
 		return fmt.Errorf("device: %w", err)
 	}
 	cfg, err := decodeConfig(p.FDRI(packets))
 	if err != nil {
+		f.tel.Counter("device.load_errors").Inc()
 		return err
 	}
 	f.commit(cfg, false)
@@ -217,6 +234,9 @@ func (f *FPGA) commit(cfg *config, preserveFF bool) {
 // running configuration — including register state and readback —
 // completely untouched.
 func (f *FPGA) PartialReconfig(frame int, data []byte) error {
+	span := f.tel.StartSpan("device.partial_reconfig", obs.KV("frame", frame))
+	defer span.End()
+	f.tel.Counter("device.partial_reconfigs").Inc()
 	if !f.loaded {
 		return errors.New("device: partial reconfiguration before configuration")
 	}
@@ -251,6 +271,9 @@ func (f *FPGA) Status() BootStatus { return f.status }
 // device would be disabled on real silicon; our model mirrors that by
 // refusing when the last image was encrypted.
 func (f *FPGA) Readback() ([]byte, error) {
+	span := f.tel.StartSpan("device.readback")
+	defer span.End()
+	f.tel.Counter("device.readbacks").Inc()
 	if !f.loaded {
 		return nil, errors.New("device: readback before configuration")
 	}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// NDJSON trace export: one JSON object per line, so a trace can be
+// streamed, grepped, and diffed across PRs without a reader library.
+// Line kinds:
+//
+//	{"type":"meta","version":1}
+//	{"type":"span","id":3,"parent":1,"name":"attack.verify_zpath","start_us":12.5,"dur_us":8100.2,"attrs":{...}}
+//	{"type":"counter","name":"attack.loads","value":47}
+//	{"type":"gauge","name":"scan.workers","value":8}
+//	{"type":"hist","name":"batch.lanes_per_pass","count":5,"sum":41,"min":1,"max":35}
+//
+// Span ids are depth-first over the span tree, parents before children;
+// parent 0 marks a root span. tools/tracestat consumes this format.
+
+// TraceVersion is the NDJSON schema version emitted by WriteNDJSON.
+const TraceVersion = 1
+
+// Event is one NDJSON trace line (shared with tools/tracestat, which
+// keeps its own decoder to stay dependency-free).
+type Event struct {
+	Type    string         `json:"type"`
+	Version int            `json:"version,omitempty"`
+	ID      int            `json:"id,omitempty"`
+	Parent  int            `json:"parent,omitempty"`
+	Name    string         `json:"name,omitempty"`
+	StartUS float64        `json:"start_us,omitempty"`
+	DurUS   float64        `json:"dur_us,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Value   float64        `json:"value,omitempty"`
+	Count   int64          `json:"count,omitempty"`
+	Sum     float64        `json:"sum,omitempty"`
+	Min     float64        `json:"min,omitempty"`
+	Max     float64        `json:"max,omitempty"`
+}
+
+// WriteNDJSON streams the span tree and a metrics snapshot to w. Either
+// tracer or reg may be nil (that section is simply omitted). The first
+// write or encode error aborts the export and is returned, so callers
+// can fail loudly instead of shipping a truncated trace.
+func WriteNDJSON(w io.Writer, tracer *Tracer, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends '\n' — one object per line
+	if err := enc.Encode(Event{Type: "meta", Version: TraceVersion}); err != nil {
+		return err
+	}
+	nextID := 1
+	var walk func(s *Span, parent int) error
+	walk = func(s *Span, parent int) error {
+		id := nextID
+		nextID++
+		ev := Event{
+			Type:    "span",
+			ID:      id,
+			Parent:  parent,
+			Name:    s.Name(),
+			StartUS: float64(s.Start().Nanoseconds()) / 1e3,
+			DurUS:   float64(s.Duration().Nanoseconds()) / 1e3,
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			ev.Attrs = make(map[string]any, len(attrs))
+			for _, a := range attrs {
+				ev.Attrs[a.Key] = a.Value
+			}
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		for _, c := range s.Children() {
+			if err := walk(c, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range tracer.Roots() {
+		if err := walk(root, 0); err != nil {
+			return err
+		}
+	}
+	for _, m := range reg.Snapshot() {
+		ev := Event{Type: m.Kind, Name: m.Name}
+		switch m.Kind {
+		case "hist":
+			ev.Count = m.Hist.Count
+			ev.Sum = m.Hist.Sum
+			ev.Min = m.Hist.Min
+			ev.Max = m.Hist.Max
+		default:
+			ev.Value = m.Value
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

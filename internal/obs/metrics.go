@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically-growing int64 metric (events: loads,
+// cache hits, fallbacks). Set exists for mirroring an external
+// accumulator that already aggregates (ScanStats/BatchStats); event
+// sites use Add/Inc. All methods are nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the value (mirror of an external accumulator).
+func (c *Counter) Set(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move both ways (worker-pool size,
+// lane utilisation, checkpoint counts).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates a distribution as count/sum/min/max (lanes per
+// fabric pass, patch bytes per candidate). Deliberately bucket-free:
+// the export stays tiny and deterministic.
+type Histogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistValue is a histogram snapshot.
+type HistValue struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Value snapshots the histogram (zero for nil).
+func (h *Histogram) Value() HistValue {
+	if h == nil {
+		return HistValue{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistValue{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// Registry holds named metrics, get-or-create style. Safe for
+// concurrent use and on a nil receiver (returns nil metrics, whose
+// methods no-op).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one exported metric value. Exactly one of the kind-specific
+// value sets is meaningful, selected by Kind.
+type Metric struct {
+	Name  string
+	Kind  string // "counter", "gauge" or "hist"
+	Value float64
+	Hist  HistValue
+}
+
+// Snapshot returns every metric, sorted by (kind, name) for
+// deterministic export.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		out = append(out, Metric{Name: name, Kind: "hist", Hist: h.Value()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// defaultRegistry is the process-wide registry: metrics whose scope is
+// the process rather than one attack (the candidate-catalogue cache
+// shared by every Scanner, for instance) land here.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	if v := r.Counter("a").Value(); v != 4 {
+		t.Fatalf("counter = %d", v)
+	}
+	r.Counter("a").Set(10)
+	if v := r.Counter("a").Value(); v != 10 {
+		t.Fatalf("after Set = %d", v)
+	}
+	r.Gauge("g").Set(2.5)
+	if v := r.Gauge("g").Value(); v != 2.5 {
+		t.Fatalf("gauge = %v", v)
+	}
+	h := r.Histogram("h")
+	h.Observe(4)
+	h.Observe(1)
+	h.Observe(7)
+	hv := h.Value()
+	if hv.Count != 3 || hv.Sum != 12 || hv.Min != 1 || hv.Max != 7 {
+		t.Fatalf("hist = %+v", hv)
+	}
+	var nilReg *Registry
+	nilReg.Counter("x").Inc()
+	nilReg.Gauge("x").Set(1)
+	nilReg.Histogram("x").Observe(1)
+	if nilReg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits").Inc()
+				r.Histogram("lanes").Observe(float64(i % 64))
+				r.Gauge("width").Set(64)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("hits").Value(); v != 8000 {
+		t.Fatalf("hits = %d", v)
+	}
+	if hv := r.Histogram("lanes").Value(); hv.Count != 8000 {
+		t.Fatalf("lanes count = %d", hv.Count)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("z").Set(1)
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Histogram("m").Observe(1)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if len(s1) != 4 {
+		t.Fatalf("snapshot size %d", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("snapshot not deterministic at %d: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+	// counters first (kind sort), then within kind by name.
+	if s1[0].Name != "a" || s1[1].Name != "b" || s1[2].Name != "z" || s1[3].Name != "m" {
+		t.Fatalf("order: %v", s1)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	tel := New()
+	run := tel.StartSpan("attack.run")
+	scan := tel.StartSpan("scan.pass", KV("functions", 21))
+	scan.End()
+	run.End()
+	tel.Counter("attack.loads").Set(47)
+	tel.Gauge("scan.workers").Set(8)
+	tel.Histogram("batch.lanes_per_pass").Observe(35)
+
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, tel.Tracer, tel.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	names := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		types = append(types, ev.Type)
+		names[ev.Name] = true
+		if ev.Type == "span" && ev.Name == "scan.pass" {
+			if ev.Parent != 1 {
+				t.Fatalf("scan.pass parent = %d", ev.Parent)
+			}
+			if ev.Attrs["functions"] != float64(21) {
+				t.Fatalf("attrs = %v", ev.Attrs)
+			}
+		}
+		if ev.Type == "counter" && ev.Name == "attack.loads" && ev.Value != 47 {
+			t.Fatalf("loads = %v", ev.Value)
+		}
+	}
+	want := []string{"meta", "span", "span", "counter", "gauge", "hist"}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("line types %v, want %v", types, want)
+	}
+	for _, n := range []string{"attack.run", "scan.pass", "attack.loads", "scan.workers", "batch.lanes_per_pass"} {
+		if !names[n] {
+			t.Fatalf("missing %s", n)
+		}
+	}
+	// Nil components export cleanly (meta line only).
+	buf.Reset()
+	if err := WriteNDJSON(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("nil export wrote %d lines", got)
+	}
+}
+
+// errWriter fails after n bytes, to pin that export errors surface.
+type errWriter struct{ left int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, bytes.ErrTooLarge
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestWriteNDJSONPropagatesErrors(t *testing.T) {
+	tel := New()
+	for i := 0; i < 2000; i++ {
+		tel.StartSpan("s").End()
+	}
+	if err := WriteNDJSON(&errWriter{left: 64}, tel.Tracer, tel.Metrics); err == nil {
+		t.Fatal("export to a failing writer reported success")
+	}
+}

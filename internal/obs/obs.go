@@ -1,0 +1,71 @@
+// Package obs is the unified attack telemetry layer: a span tracer for
+// phase-level wall-clock attribution, a metrics registry of typed
+// counters/gauges/histograms, and a leveled logger — one handle threaded
+// through the scanner, the candidate sweeps, the device simulator and
+// the incremental-reconfiguration caches.
+//
+// The paper's headline numbers are costs (bitstream loads, keystream
+// computations, the 3^32 → 2 collapse of the key-independent
+// exploration); this package makes every phase of the attack that
+// produces them observable as one coherent trace instead of three
+// disjoint ad-hoc stat structs. Everything is nil-safe: a nil
+// *Telemetry (or nil component) turns every instrumentation point into
+// a no-op, so the hot paths carry tracing unconditionally and pay
+// (almost) nothing when it is off.
+package obs
+
+// Telemetry bundles the three observability components. Any field may
+// be nil; all helper methods tolerate a nil receiver.
+type Telemetry struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Log     *Logger
+}
+
+// New returns a Telemetry with a fresh tracer and registry and no
+// logger (attach one with the Log field if log capture is wanted).
+func New() *Telemetry {
+	return &Telemetry{Tracer: NewTracer(), Metrics: NewRegistry()}
+}
+
+// StartSpan opens a span on the tracer, or returns nil when tracing is
+// off. A nil *Span is safe to End().
+func (t *Telemetry) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer.StartSpan(name, attrs...)
+}
+
+// Counter returns the named counter, or nil when metrics are off.
+func (t *Telemetry) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge, or nil when metrics are off.
+func (t *Telemetry) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram, or nil when metrics are off.
+func (t *Telemetry) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics.Histogram(name)
+}
+
+// Logger returns the attached logger (possibly nil; a nil *Logger is a
+// valid no-op logger).
+func (t *Telemetry) Logger() *Logger {
+	if t == nil {
+		return nil
+	}
+	return t.Log
+}

@@ -12,6 +12,7 @@ import (
 	"snowbma/internal/boolfn"
 	"snowbma/internal/core"
 	"snowbma/internal/mapper"
+	"snowbma/internal/obs"
 )
 
 // Keystream renders keystream words in the paper's table layout.
@@ -110,6 +111,52 @@ func BatchStats(s core.BatchStats) string {
 	if s.IncrementalCRCs+s.FullCRCs > 0 {
 		fmt.Fprintf(&b, "  crc recompute:       %d incremental, %d full\n",
 			s.IncrementalCRCs, s.FullCRCs)
+	}
+	return b.String()
+}
+
+// Trace renders the phase-span tree of a telemetry handle: one line per
+// span with indentation for nesting and the wall time each phase took.
+// High-volume leaf spans (scan.chunk, sweep.chunk) are folded into a
+// count so the section stays readable; the NDJSON export keeps them all.
+func Trace(tel *obs.Telemetry) string {
+	if tel == nil || tel.Tracer == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("phase trace:\n")
+	fold := map[string]bool{"scan.chunk": true, "sweep.chunk": true, "device.load": true}
+	// tally counts s and every descendant into folded by name —
+	// concurrent worker spans may nest under each other arbitrarily, so
+	// a folded span's subtree is flattened into the counts.
+	var tally func(s *obs.Span, folded map[string]int)
+	tally = func(s *obs.Span, folded map[string]int) {
+		folded[s.Name()]++
+		for _, c := range s.Children() {
+			tally(c, folded)
+		}
+	}
+	var walk func(s *obs.Span, depth int)
+	walk = func(s *obs.Span, depth int) {
+		folded := map[string]int{}
+		fmt.Fprintf(&b, "  %s%-*s %v\n", strings.Repeat("  ", depth),
+			36-2*depth, s.Name(), s.Duration().Round(time.Microsecond))
+		for _, c := range s.Children() {
+			if fold[c.Name()] {
+				tally(c, folded)
+			} else {
+				walk(c, depth+1)
+			}
+		}
+		for _, name := range []string{"device.load", "scan.chunk", "sweep.chunk"} {
+			if n := folded[name]; n > 0 {
+				fmt.Fprintf(&b, "  %s%-*s ×%d\n", strings.Repeat("  ", depth+1),
+					36-2*(depth+1), name, n)
+			}
+		}
+	}
+	for _, root := range tel.Tracer.Roots() {
+		walk(root, 0)
 	}
 	return b.String()
 }

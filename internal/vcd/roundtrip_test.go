@@ -1,0 +1,186 @@
+// External round-trip test: drive the mapped SNOW 3G device through a
+// traced keystream run (the waveform a hardware engineer would capture
+// while reproducing the attack), then parse the emitted VCD back and
+// check both the file structure and the sampled data. Lives in package
+// vcd_test so it can use internal/hdl, which itself imports this
+// package.
+package vcd_test
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"snowbma/internal/hdl"
+	"snowbma/internal/snow3g"
+)
+
+var (
+	rtKey = snow3g.Key{0x2bd6459f, 0x82c5b300, 0x952c4910, 0x4881ff48}
+	rtIV  = snow3g.IV{0xea024714, 0xad5c4d84, 0xdf1f9b25, 0x1c0bf45f}
+)
+
+// waveform is a parsed VCD dump: signal declarations and the cumulative
+// value of every signal at every timestamp.
+type waveform struct {
+	timescale string
+	scope     string
+	vars      map[string]string // id -> signal name
+	samples   map[int]map[string]byte
+	times     []int
+}
+
+// parseVCD is a strict reader for the subset of IEEE 1364 VCD the
+// package writes: 1-bit wire declarations and scalar value changes.
+func parseVCD(t *testing.T, dump string) *waveform {
+	t.Helper()
+	w := &waveform{vars: map[string]string{}, samples: map[int]map[string]byte{}}
+	current := map[string]byte{}
+	now := -1
+	snapshot := func() {
+		if now < 0 {
+			return
+		}
+		frame := make(map[string]byte, len(current))
+		for id, v := range current {
+			frame[id] = v
+		}
+		w.samples[now] = frame
+		w.times = append(w.times, now)
+	}
+	for _, line := range strings.Split(dump, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "$timescale"):
+			w.timescale = line
+		case strings.HasPrefix(line, "$scope"):
+			w.scope = line
+		case strings.HasPrefix(line, "$var"):
+			// $var wire 1 <id> <name> $end
+			f := strings.Fields(line)
+			if len(f) != 6 || f[1] != "wire" || f[2] != "1" || f[5] != "$end" {
+				t.Fatalf("malformed $var line: %q", line)
+			}
+			if _, dup := w.vars[f[3]]; dup {
+				t.Fatalf("duplicate VCD identifier %q", f[3])
+			}
+			w.vars[f[3]] = f[4]
+		case strings.HasPrefix(line, "$upscope"), strings.HasPrefix(line, "$enddefinitions"):
+		case strings.HasPrefix(line, "#"):
+			snapshot()
+			n, err := strconv.Atoi(line[1:])
+			if err != nil {
+				t.Fatalf("bad timestamp %q: %v", line, err)
+			}
+			if n <= now {
+				t.Fatalf("timestamps not strictly increasing: %d after %d", n, now)
+			}
+			now = n
+		case line[0] == '0' || line[0] == '1':
+			id := line[1:]
+			if _, ok := w.vars[id]; !ok {
+				t.Fatalf("value change for undeclared id %q", id)
+			}
+			current[id] = line[0] - '0'
+		default:
+			t.Fatalf("unrecognized VCD line: %q", line)
+		}
+	}
+	snapshot()
+	return w
+}
+
+// zWord reconstructs the 32-bit z output at the given sample time.
+func (w *waveform) zWord(t *testing.T, at int) uint32 {
+	t.Helper()
+	frame := w.samples[at]
+	if frame == nil {
+		t.Fatalf("no sample at time %d", at)
+	}
+	name2id := map[string]string{}
+	for id, name := range w.vars {
+		name2id[name] = id
+	}
+	var z uint32
+	for bit := 0; bit < 32; bit++ {
+		id, ok := name2id[fmt.Sprintf("z[%d]", bit)]
+		if !ok {
+			t.Fatalf("z[%d] not declared", bit)
+		}
+		if frame[id] == 1 {
+			z |= 1 << bit
+		}
+	}
+	return z
+}
+
+// TestTracedAttackWaveformRoundTrip captures the keystream phase of the
+// attack's target device into a VCD, parses the dump back, and checks
+// (a) the declared structure — timescale, module scope, one wire per
+// probed pin — and (b) that the sampled z-word values decode to exactly
+// the keystream the reference cipher produces. A waveform that fails
+// either half would be useless as debugging evidence.
+func TestTracedAttackWaveformRoundTrip(t *testing.T) {
+	design := hdl.Build(hdl.Config{Key: rtKey})
+	dev, err := hdl.NewSimDevice(design.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	inputs, outputs := hdl.KeystreamPins()
+	tr := hdl.NewTraceDevice(dev, &buf, inputs, outputs)
+	const words = 4
+	z := hdl.GenerateKeystream(tr, rtIV, words)
+	cycles, err := tr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := parseVCD(t, buf.String())
+
+	// Header structure.
+	if w.timescale != "$timescale 1ns $end" {
+		t.Fatalf("timescale = %q", w.timescale)
+	}
+	if w.scope != "$scope module snow3g $end" {
+		t.Fatalf("scope = %q", w.scope)
+	}
+	if want := len(inputs) + len(outputs); len(w.vars) != want {
+		t.Fatalf("declared %d wires, want %d", len(w.vars), want)
+	}
+	declared := map[string]bool{}
+	for _, name := range w.vars {
+		declared[name] = true
+	}
+	for _, pin := range append(append([]string{}, inputs...), outputs...) {
+		if !declared[pin] {
+			t.Fatalf("pin %q missing from VCD declarations", pin)
+		}
+	}
+
+	// Sample structure: the final timestamp is the Close stamp at
+	// #cycles, and data samples run 0..cycles-1.
+	if last := w.times[len(w.times)-1]; last > cycles {
+		t.Fatalf("timestamp %d beyond %d traced cycles", last, cycles)
+	}
+
+	// Data round trip: the z words decoded from the waveform's last
+	// `words` keystream cycles must match both what the device returned
+	// and the reference cipher.
+	ref := snow3g.New(snow3g.Fault{})
+	ref.Init(rtKey, rtIV)
+	want := ref.KeystreamWords(words)
+	for i := 0; i < words; i++ {
+		at := cycles - words + i
+		got := w.zWord(t, at)
+		if got != z[i] {
+			t.Fatalf("cycle %d: waveform z %08x, device returned %08x", at, got, z[i])
+		}
+		if got != want[i] {
+			t.Fatalf("cycle %d: waveform z %08x, reference %08x", at, got, want[i])
+		}
+	}
+}

@@ -22,6 +22,7 @@ package snowbma
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"snowbma/internal/bitstream"
@@ -30,6 +31,7 @@ import (
 	"snowbma/internal/device"
 	"snowbma/internal/hdl"
 	"snowbma/internal/mapper"
+	"snowbma/internal/obs"
 	"snowbma/internal/snow3g"
 )
 
@@ -199,6 +201,35 @@ func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
 // only wall-clock time — Report.Loads and HardwareEstimate model
 // per-candidate hardware reconfigurations and are invariant under it.
 func RunAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
+	return RunAttackTraced(v, iv, logf, lanes, nil)
+}
+
+// Telemetry is the unified observability handle of an attack run: a
+// phase-span tracer, a metrics registry backing the report counters, and
+// an optional structured logger. A nil *Telemetry disables everything at
+// zero cost.
+type Telemetry = obs.Telemetry
+
+// NewTelemetry creates a telemetry handle with a fresh span tracer and
+// metrics registry.
+func NewTelemetry() *Telemetry { return obs.New() }
+
+// WriteTrace streams the telemetry handle's span tree and a metrics
+// snapshot to w as NDJSON (one JSON object per line; see internal/obs
+// for the line schema and tools/tracestat for the analyzer). A nil
+// handle writes only the schema meta line.
+func WriteTrace(w io.Writer, tel *Telemetry) error {
+	if tel == nil {
+		return obs.WriteNDJSON(w, nil, nil)
+	}
+	return obs.WriteNDJSON(w, tel.Tracer, tel.Metrics)
+}
+
+// RunAttackTraced is RunAttackLanes with a telemetry handle attached:
+// every attack phase, scanner pass, sweep chunk and device event is
+// recorded into tel's tracer and metrics registry. tel may be nil
+// (equivalent to RunAttackLanes).
+func RunAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
 	atk, err := core.NewAttack(v.Device, iv, logf)
 	if err != nil {
 		return nil, err
@@ -206,6 +237,7 @@ func RunAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Re
 	if err := atk.SetLanes(lanes); err != nil {
 		return nil, err
 	}
+	atk.SetTelemetry(tel)
 	return atk.Run()
 }
 
@@ -220,6 +252,12 @@ func RunCensusAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, erro
 // RunCensusAttackLanes is RunCensusAttack with an explicit
 // candidate-sweep width (see RunAttackLanes).
 func RunCensusAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
+	return RunCensusAttackTraced(v, iv, logf, lanes, nil)
+}
+
+// RunCensusAttackTraced is RunCensusAttackLanes with a telemetry handle
+// attached (see RunAttackTraced). tel may be nil.
+func RunCensusAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
 	atk, err := core.NewAttack(v.Device, iv, logf)
 	if err != nil {
 		return nil, err
@@ -227,6 +265,7 @@ func RunCensusAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int
 	if err := atk.SetLanes(lanes); err != nil {
 		return nil, err
 	}
+	atk.SetTelemetry(tel)
 	return atk.RunCensusGuided()
 }
 
@@ -269,6 +308,13 @@ func FindFunction(bits []byte, expr string) ([]int, error) {
 // FindFunctionStats is FindFunction with an explicit worker count
 // (0 = all CPUs) and the scan-engine counters of the pass.
 func FindFunctionStats(bits []byte, expr string, parallel int) ([]int, ScanStats, error) {
+	return FindFunctionTraced(bits, expr, parallel, nil)
+}
+
+// FindFunctionTraced is FindFunctionStats with a telemetry handle
+// attached to the scan engine (scan.pass/compile/walk spans). tel may be
+// nil.
+func FindFunctionTraced(bits []byte, expr string, parallel int, tel *Telemetry) ([]int, ScanStats, error) {
 	var f boolfn.TT
 	var err error
 	if strings.HasPrefix(expr, "64'h") || strings.HasPrefix(expr, "0x") {
@@ -280,6 +326,7 @@ func FindFunctionStats(bits []byte, expr string, parallel int) ([]int, ScanStats
 		return nil, ScanStats{}, err
 	}
 	s := core.NewScanner(core.FindOptions{Parallel: parallel})
+	s.SetTelemetry(tel)
 	s.AddFunction("f", f)
 	res := s.Scan(bits)
 	matches := res.Matches["f"]
