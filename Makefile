@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test tier1 race bench bench-json trace-smoke fuzz clean
+.PHONY: all build vet test tier1 race bench bench-json trace-smoke campaign-smoke fuzz clean
 
 all: tier1
 
@@ -29,13 +29,16 @@ bench:
 # bench-json runs the evidence benchmarks and commits the numbers as
 # machine-readable JSON (the EXPERIMENTS.md evidence file). PR3 adds the
 # traced end-to-end variant, so batch-64 vs batch-64-traced in
-# BENCH_PR3.json pins the telemetry overhead (budget: <5%).
+# BENCH_PR3.json pins the telemetry overhead (budget: <5%). PR4 adds
+# campaign throughput (full synthesize→attack→verify scenarios per
+# second) at pool width 1 vs all CPUs.
 BENCH_PR2 = BenchmarkAttackEndToEnd|BenchmarkCandidateSweep|BenchmarkClockBatch|BenchmarkScannerBatchVsSequential|BenchmarkFindLUT10MB
 BENCH_PR3 = BenchmarkAttackEndToEnd
+BENCH_PR4 = BenchmarkCampaignThroughput
 bench-json:
-	$(GO) test -run xxx -bench '$(BENCH_PR3)' -benchtime 10x . \
-		| $(GO) run ./tools/benchjson -o BENCH_PR3.json
-	@cat BENCH_PR3.json
+	$(GO) test -run xxx -bench '$(BENCH_PR4)' -benchtime 3x ./internal/campaign \
+		| $(GO) run ./tools/benchjson -o BENCH_PR4.json
+	@cat BENCH_PR4.json
 
 # trace-smoke exercises the observability path end to end: run the
 # attack with -trace, then feed the NDJSON through the independent
@@ -47,6 +50,15 @@ trace-smoke:
 	@test -s /tmp/snowbma-trace.ndjson || { echo "empty trace"; exit 1; }
 	$(GO) run ./tools/tracestat /tmp/snowbma-trace.ndjson
 	$(GO) test -run xxx -bench 'BenchmarkAttackEndToEnd/batch-64' -benchtime 3x .
+
+# campaign-smoke runs a seeded 25-scenario chaos campaign under the race
+# detector: every fault must surface as a typed error (never a wrong key
+# or a panic) and every clean scenario must recover the key, or the
+# campaign exits non-zero. The JSON report lands in /tmp for inspection.
+campaign-smoke:
+	$(GO) run -race ./cmd/snowbma campaign -runs 25 -chaos -seed 7 -parallel 2 \
+		-json /tmp/snowbma-campaign.json
+	@test -s /tmp/snowbma-campaign.json || { echo "empty campaign report"; exit 1; }
 
 # Short fuzz pass over the scanner differential target.
 fuzz:

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	snowbma synth      [-protected] [-key k0,k1,k2,k3] [-pad N] [-o out.bit]
+//	snowbma synth      [-protected] [-key k0,k1,k2,k3] [-pad N] [-seed N] [-o out.bit]
 //	snowbma attack     [-protected] [-encrypted] [-census] [-lanes N] [-stats] [-trace file] [-key ...] [-iv ...] [-v]
+//	snowbma campaign   [-runs N] [-parallel N] [-seed N] [-chaos] [-lanes N] [-json file]
 //	snowbma findlut    -bits file [-f expr] [-parallel N] [-stats] [-trace file]
 //	snowbma table2     [-key ...] [-stats]
 //	snowbma table6     [-key ...] [-stats]
@@ -72,6 +73,8 @@ func main() {
 		err = cmdExport(args)
 	case "complexity":
 		err = cmdComplexity(args)
+	case "campaign":
+		err = cmdCampaign(args)
 	default:
 		usage()
 	}
@@ -99,7 +102,8 @@ commands:
   diff        classify the differences between two bitstreams by region
   verify      boot a bitstream and check it against the software model
   export      write the mapped design as BLIF and structural netlist
-  complexity  countermeasure complexity analysis (Lemma VII-A)`)
+  complexity  countermeasure complexity analysis (Lemma VII-A)
+  campaign    run a randomized attack campaign (optionally with chaos faults)`)
 	os.Exit(2)
 }
 
@@ -214,6 +218,7 @@ func cmdSynth(args []string) error {
 	autoBits := fs.Int("autoprotect", 0, "plan the countermeasure automatically for this security level (bits)")
 	pad := fs.Int("pad", 0, "extra empty fabric frames")
 	out := fs.String("o", "snow3g.bit", "output file")
+	seed := fs.Int64("seed", 0, "placement seed (0 picks the default)")
 	keyStr := keyFlag(fs)
 	_ = fs.Parse(args)
 	if *pad < 0 {
@@ -222,12 +227,15 @@ func cmdSynth(args []string) error {
 	if *autoBits < 0 {
 		return fmt.Errorf("synth: -autoprotect must be non-negative, got %d", *autoBits)
 	}
+	if err := validateSeed("synth", *seed); err != nil {
+		return err
+	}
 	key, err := parseWords(*keyStr, snowbma.PaperKey)
 	if err != nil {
 		return err
 	}
 	v, err := snowbma.BuildVictim(snowbma.VictimConfig{
-		Key: key, Protected: *protected, AutoProtectBits: *autoBits, PadFrames: *pad,
+		Key: key, Protected: *protected, AutoProtectBits: *autoBits, PadFrames: *pad, Seed: *seed,
 	})
 	if err != nil {
 		return err

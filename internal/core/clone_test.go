@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillValue populates v with deterministic non-zero data: every slice
+// gets two elements, every struct field is filled recursively. Keeping
+// the filler reflective means a field added to Report later is covered
+// automatically — there is no hand-maintained list to forget.
+func fillValue(v reflect.Value, seed *int) {
+	*seed++
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(*seed))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(*seed))
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(float64(*seed))
+	case reflect.String:
+		v.SetString("x")
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < s.Len(); i++ {
+			fillValue(s.Index(i), seed)
+		}
+		v.Set(s)
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillValue(v.Index(i), seed)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() {
+				fillValue(v.Field(i), seed)
+			}
+		}
+	}
+}
+
+// checkNoAliasing walks a and b (the original and its clone) in
+// lockstep and fails on any shared backing array.
+func checkNoAliasing(t *testing.T, path string, a, b reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Slice:
+		if a.Len() > 0 && a.Pointer() == b.Pointer() {
+			t.Errorf("%s: clone aliases the original's backing array", path)
+		}
+		for i := 0; i < a.Len() && i < b.Len(); i++ {
+			checkNoAliasing(t, path+"[i]", a.Index(i), b.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			checkNoAliasing(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i))
+		}
+	case reflect.Ptr:
+		if !a.IsNil() && !b.IsNil() {
+			if a.Pointer() == b.Pointer() {
+				t.Errorf("%s: clone shares a pointer with the original", path)
+			}
+			checkNoAliasing(t, path, a.Elem(), b.Elem())
+		}
+	}
+}
+
+// TestReportCloneDeepCopiesEveryField is the reflective deep-copy
+// regression: Clone must not share mutable memory with the original for
+// ANY field, including ones added after this test was written.
+func TestReportCloneDeepCopiesEveryField(t *testing.T) {
+	var r Report
+	seed := 0
+	fillValue(reflect.ValueOf(&r).Elem(), &seed)
+	c := r.Clone()
+	if !reflect.DeepEqual(&r, c) {
+		t.Fatalf("clone is not value-equal to the original:\n got %+v\nwant %+v", c, &r)
+	}
+	checkNoAliasing(t, "Report", reflect.ValueOf(r), reflect.ValueOf(*c))
+
+	// Belt and braces: mutate every slice in the original and confirm
+	// the clone is untouched.
+	snapshot := c.Clone()
+	var scramble func(v reflect.Value)
+	scramble = func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Slice:
+			for i := 0; i < v.Len(); i++ {
+				scramble(v.Index(i))
+			}
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				if v.Field(i).CanSet() {
+					scramble(v.Field(i))
+				}
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			v.SetInt(0)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			v.SetUint(0)
+		case reflect.String:
+			v.SetString("")
+		case reflect.Bool:
+			v.SetBool(false)
+		}
+	}
+	for i := 0; i < reflect.ValueOf(&r).Elem().NumField(); i++ {
+		f := reflect.ValueOf(&r).Elem().Field(i)
+		if f.Kind() == reflect.Slice {
+			scramble(f)
+		}
+	}
+	if !reflect.DeepEqual(c, snapshot) {
+		t.Fatal("mutating the original's slices changed the clone")
+	}
+}

@@ -1,0 +1,211 @@
+package gf2
+
+import "testing"
+
+// mat builds a matrix from rows of '0'/'1' characters, e.g.
+// mat("10", "01") is the 2×2 identity.
+func mat(rows ...string) *Matrix {
+	m := NewMatrix(len(rows))
+	for r, row := range rows {
+		if len(row) != len(rows) {
+			panic("mat: ragged rows")
+		}
+		for c, ch := range row {
+			m.Set(r, c, ch == '1')
+		}
+	}
+	return m
+}
+
+func matEqual(a, b *Matrix) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	for r := 0; r < a.N(); r++ {
+		for c := 0; c < a.N(); c++ {
+			if a.Get(r, c) != b.Get(r, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestInverseTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		m        *Matrix
+		inv      *Matrix // nil means singular
+		singular bool
+	}{
+		{"identity", mat("10", "01"), mat("10", "01"), false},
+		{"upper unitriangular is an involution", mat("11", "01"), mat("11", "01"), false},
+		{"swap", mat("01", "10"), mat("01", "10"), false},
+		{
+			// Companion matrix of x^3 + x + 1 (primitive over GF(2)).
+			"companion x3+x+1",
+			mat("010", "001", "110"),
+			mat("101", "100", "010"),
+			false,
+		},
+		{"zero row", mat("11", "00"), nil, true},
+		{"repeated rows", mat("101", "101", "010"), nil, true},
+		{"dependent sum", mat("110", "011", "101"), nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.m.Inverse()
+			if tc.singular {
+				if err == nil {
+					t.Fatal("Inverse() succeeded on a singular matrix")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Inverse() = %v", err)
+			}
+			if !matEqual(got, tc.inv) {
+				t.Fatalf("wrong inverse for %s", tc.name)
+			}
+			if !matEqual(tc.m.Mul(got), Identity(tc.m.N())) {
+				t.Fatal("M·M⁻¹ ≠ I")
+			}
+		})
+	}
+}
+
+func TestRankTable(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Matrix
+		rank int
+	}{
+		{"zero 3x3", NewMatrix(3), 0},
+		{"identity 4x4", Identity(4), 4},
+		{"one row", mat("110", "000", "000"), 1},
+		{"rank 2 of 3", mat("110", "011", "101"), 2},
+		{"full 3x3", mat("010", "001", "110"), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.m.Rank(); got != tc.rank {
+				t.Fatalf("Rank() = %d, want %d", got, tc.rank)
+			}
+		})
+	}
+}
+
+func TestPowTable(t *testing.T) {
+	// The companion matrix of x^3 + x + 1 generates GF(8)*, so its
+	// multiplicative order is 7.
+	comp := mat("010", "001", "110")
+	cases := []struct {
+		name string
+		m    *Matrix
+		k    int
+		want *Matrix
+	}{
+		{"k=0 is identity", comp, 0, Identity(3)},
+		{"k=1 is the matrix", comp, 1, comp},
+		{"square", comp, 2, comp.Mul(comp)},
+		{"order 7", comp, 7, Identity(3)},
+		{"order wraps", comp, 8, comp},
+		{"involution squared", mat("11", "01"), 2, Identity(2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.m.Pow(tc.k); !matEqual(got, tc.want) {
+				t.Fatalf("Pow(%d) wrong", tc.k)
+			}
+		})
+	}
+}
+
+func TestMulVecTable(t *testing.T) {
+	vec := func(bits string) Vec {
+		v := NewVec(len(bits))
+		for i, ch := range bits {
+			v.Set(i, ch == '1')
+		}
+		return v
+	}
+	cases := []struct {
+		name string
+		m    *Matrix
+		in   string
+		want string
+	}{
+		{"identity fixes", Identity(3), "101", "101"},
+		{"zero annihilates", NewMatrix(3), "111", "000"},
+		{"swap permutes", mat("01", "10"), "10", "01"},
+		{"companion shifts+feeds back", mat("010", "001", "110"), "100", "001"},
+		{"companion feedback taps", mat("010", "001", "110"), "010", "101"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.m.MulVec(vec(tc.in))
+			want := vec(tc.want)
+			for i := 0; i < want.Len(); i++ {
+				if got.Get(i) != want.Get(i) {
+					t.Fatalf("MulVec(%s) bit %d = %v, want %s", tc.in, i, got.Get(i), tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestVecBitBoundaryTable(t *testing.T) {
+	// Bits straddling the 64-bit word packing must not interfere.
+	cases := []struct {
+		name string
+		n    int
+		bits []int
+	}{
+		{"single word", 10, []int{0, 9}},
+		{"word edge", 64, []int{0, 63}},
+		{"first of second word", 65, []int{63, 64}},
+		{"spread", 200, []int{0, 63, 64, 127, 128, 199}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := NewVec(tc.n)
+			for _, i := range tc.bits {
+				v.Set(i, true)
+			}
+			set := map[int]bool{}
+			for _, i := range tc.bits {
+				set[i] = true
+			}
+			for i := 0; i < tc.n; i++ {
+				if v.Get(i) != set[i] {
+					t.Fatalf("bit %d = %v, want %v", i, v.Get(i), set[i])
+				}
+			}
+			for _, i := range tc.bits {
+				v.Set(i, false)
+			}
+			if !v.IsZero() {
+				t.Fatal("clearing the set bits did not zero the vector")
+			}
+		})
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := NewVec(130)
+	v.Set(129, true)
+	cv := v.Clone()
+	v.Set(0, true)
+	v.Set(129, false)
+	if cv.Get(0) || !cv.Get(129) {
+		t.Fatal("Vec.Clone shares storage with the original")
+	}
+
+	m := Identity(5)
+	cm := m.Clone()
+	m.Set(0, 0, false)
+	m.Set(4, 0, true)
+	if !cm.Get(0, 0) || cm.Get(4, 0) {
+		t.Fatal("Matrix.Clone shares storage with the original")
+	}
+}

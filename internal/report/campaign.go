@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snowbma/internal/campaign"
+)
+
+// Campaign renders a campaign report: the aggregate verdict table, the
+// per-fault chaos breakdown and every scenario that broke its contract.
+func Campaign(rep *campaign.Report) string {
+	var b strings.Builder
+	agg := rep.Aggregate
+	fmt.Fprintf(&b, "campaign:              %d scenarios, seed %d, chaos=%v\n",
+		rep.Runs, rep.Seed, rep.Chaos)
+	fmt.Fprintf(&b, "  key recovered:       %d\n", agg.KeyRecovered)
+	fmt.Fprintf(&b, "  clean failures:      %d\n", agg.CleanFailures)
+	fmt.Fprintf(&b, "  invariant violations:%d\n", agg.InvariantViolations)
+	fmt.Fprintf(&b, "  unexpected verdicts: %d\n", agg.Unexpected)
+	fmt.Fprintf(&b, "  total loads:         %d\n", agg.TotalLoads)
+	if agg.ChaosScenarios > 0 {
+		fmt.Fprintf(&b, "chaos faults (%d scenarios):\n", agg.ChaosScenarios)
+		faults := make([]string, 0, len(agg.ByFault))
+		for f := range agg.ByFault {
+			faults = append(faults, f)
+		}
+		sort.Strings(faults)
+		for _, f := range faults {
+			fmt.Fprintf(&b, "  %-14s %d\n", f, agg.ByFault[f])
+		}
+	}
+	outcomes := make([]string, 0, len(agg.ByOutcome))
+	for o := range agg.ByOutcome {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	b.WriteString("outcomes:\n")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "  %-20s %d\n", o, agg.ByOutcome[o])
+	}
+	for _, r := range rep.Results {
+		if r.Expected && r.Verdict != campaign.VerdictInvariantViolation {
+			continue
+		}
+		fmt.Fprintf(&b, "CONTRACT BROKEN: scenario %d (seed %d, fault %q): verdict %s, outcome %s",
+			r.Scenario.Index, r.Scenario.Seed, r.Scenario.Fault, r.Verdict, r.Outcome)
+		if r.Error != "" {
+			fmt.Fprintf(&b, ": %s", r.Error)
+		}
+		if r.Panic != "" {
+			fmt.Fprintf(&b, " (panic: %s)", r.Panic)
+		}
+		b.WriteByte('\n')
+	}
+	if rep.Healthy() {
+		b.WriteString("HEALTHY: every scenario met its contract\n")
+	} else {
+		b.WriteString("UNHEALTHY: contract violations present\n")
+	}
+	return b.String()
+}

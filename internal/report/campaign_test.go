@@ -1,0 +1,151 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"snowbma/internal/campaign"
+	"snowbma/internal/campaign/chaos"
+)
+
+func healthyCampaign() *campaign.Report {
+	return &campaign.Report{
+		Schema: 1,
+		Seed:   9,
+		Runs:   3,
+		Chaos:  true,
+		Results: []campaign.Result{
+			{
+				Scenario: campaign.Scenario{Index: 0, Seed: 100},
+				Verdict:  campaign.VerdictKeyRecovered,
+				Outcome:  campaign.OutcomeVerified,
+				Expected: true,
+				Loads:    250,
+			},
+			{
+				Scenario: campaign.Scenario{Index: 1, Seed: 101, Fault: chaos.Stall},
+				Verdict:  campaign.VerdictCleanFailure,
+				Outcome:  "chaos:stall",
+				Expected: true,
+				Error:    "chaos: configuration port stalled after 9 loads",
+			},
+			{
+				Scenario: campaign.Scenario{Index: 2, Seed: 102, Fault: chaos.BitFlip},
+				Verdict:  campaign.VerdictCleanFailure,
+				Outcome:  "chaos:bitflip",
+				Expected: true,
+				Error:    "core: feedback candidates 3+1 != 32",
+			},
+		},
+		Aggregate: campaign.Aggregate{
+			KeyRecovered:   1,
+			CleanFailures:  2,
+			ChaosScenarios: 2,
+			TotalLoads:     250,
+			ByFault:        map[string]int{"stall": 1, "bitflip": 1},
+			ByOutcome:      map[string]int{"verified": 1, "chaos:stall": 1, "chaos:bitflip": 1},
+		},
+	}
+}
+
+func TestCampaignRendering(t *testing.T) {
+	cases := []struct {
+		name    string
+		rep     func() *campaign.Report
+		want    []string
+		exclude []string
+	}{
+		{
+			name: "healthy",
+			rep:  healthyCampaign,
+			want: []string{
+				"campaign:              3 scenarios, seed 9, chaos=true",
+				"key recovered:       1",
+				"clean failures:      2",
+				"chaos faults (2 scenarios):",
+				"bitflip        1",
+				"stall          1",
+				"outcomes:",
+				"verified             1",
+				"HEALTHY: every scenario met its contract",
+			},
+			exclude: []string{"CONTRACT BROKEN", "UNHEALTHY"},
+		},
+		{
+			name: "invariant violation",
+			rep: func() *campaign.Report {
+				r := healthyCampaign()
+				r.Results[1].Verdict = campaign.VerdictInvariantViolation
+				r.Results[1].Outcome = campaign.OutcomePanic
+				r.Results[1].Panic = "index out of range"
+				r.Aggregate.CleanFailures = 1
+				r.Aggregate.InvariantViolations = 1
+				return r
+			},
+			want: []string{
+				"invariant violations:1",
+				`CONTRACT BROKEN: scenario 1 (seed 101, fault "stall"): verdict invariant_violation, outcome panic`,
+				"(panic: index out of range)",
+				"UNHEALTHY: contract violations present",
+			},
+			exclude: []string{"HEALTHY: every scenario"},
+		},
+		{
+			name: "unexpected verdict",
+			rep: func() *campaign.Report {
+				r := healthyCampaign()
+				r.Results[0].Expected = false
+				r.Results[0].Verdict = campaign.VerdictCleanFailure
+				r.Results[0].Outcome = campaign.OutcomeFailure
+				r.Results[0].Error = "core: z-path verification failed"
+				r.Aggregate.KeyRecovered = 0
+				r.Aggregate.CleanFailures = 3
+				r.Aggregate.Unexpected = 1
+				return r
+			},
+			want: []string{
+				"unexpected verdicts: 1",
+				`CONTRACT BROKEN: scenario 0 (seed 100, fault ""): verdict clean_failure, outcome failure: core: z-path verification failed`,
+				"UNHEALTHY",
+			},
+		},
+		{
+			name: "no chaos section without chaos scenarios",
+			rep: func() *campaign.Report {
+				r := healthyCampaign()
+				r.Chaos = false
+				r.Results = r.Results[:1]
+				r.Aggregate.CleanFailures = 0
+				r.Aggregate.ChaosScenarios = 0
+				r.Aggregate.ByFault = nil
+				return r
+			},
+			want:    []string{"chaos=false", "HEALTHY"},
+			exclude: []string{"chaos faults"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := Campaign(tc.rep())
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("rendering missing %q:\n%s", w, out)
+				}
+			}
+			for _, e := range tc.exclude {
+				if strings.Contains(out, e) {
+					t.Errorf("rendering must not contain %q:\n%s", e, out)
+				}
+			}
+		})
+	}
+}
+
+func TestCampaignFaultBreakdownSorted(t *testing.T) {
+	out := Campaign(healthyCampaign())
+	bi := strings.Index(out, "bitflip")
+	si := strings.Index(out, "stall")
+	if bi < 0 || si < 0 || bi > si {
+		t.Fatalf("fault breakdown not sorted (bitflip@%d, stall@%d):\n%s", bi, si, out)
+	}
+}

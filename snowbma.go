@@ -27,6 +27,7 @@ import (
 
 	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
+	"snowbma/internal/campaign"
 	"snowbma/internal/core"
 	"snowbma/internal/device"
 	"snowbma/internal/hdl"
@@ -267,6 +268,28 @@ func RunCensusAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes in
 	}
 	atk.SetTelemetry(tel)
 	return atk.RunCensusGuided()
+}
+
+// CampaignConfig parameterizes a randomized attack campaign: how many
+// scenarios, the worker-pool width, the master seed, whether chaos
+// fault-injection scenarios are mixed in, and an optional pinned
+// candidate-sweep lane width.
+type CampaignConfig = campaign.Config
+
+// CampaignReport is the deterministic outcome of a campaign: one
+// classified result per scenario plus the aggregate verdict tally.
+// Identical (Seed, Runs, Chaos, Lanes) inputs marshal to byte-identical
+// JSON regardless of the worker-pool width.
+type CampaignReport = campaign.Report
+
+// RunCampaign generates CampaignConfig.Runs randomized end-to-end
+// attack scenarios from the master seed — fresh design placement, key,
+// IV, lane width, optional countermeasure / bitstream encryption /
+// injected fault per scenario — executes each over a bounded worker
+// pool with a golden-model conformance pre-check, and aggregates the
+// typed verdicts (key recovered / clean failure / invariant violation).
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
+	return campaign.Run(cfg)
 }
 
 // CandidateCount is one row of the Table II / Table VI measurement.

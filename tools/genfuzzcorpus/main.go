@@ -1,0 +1,129 @@
+// Command genfuzzcorpus regenerates the committed seed corpora under
+// testdata/fuzz/ for the repo's fuzz targets. Committed seeds run on
+// every plain `go test`, so the parsers are exercised against real
+// synthesized images (not just the tiny in-code f.Add seeds) even when
+// nobody runs `go test -fuzz`.
+//
+// Usage (from the repo root):
+//
+//	go run ./tools/genfuzzcorpus
+//
+// Output is deterministic: the victim is synthesized from the paper key
+// with the default placement seed, so regeneration is a no-op unless the
+// synthesis pipeline itself changed.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"snowbma"
+	"snowbma/internal/bitstream"
+)
+
+// writeCorpus writes one corpus file in Go's `go test fuzz v1` encoding.
+func writeCorpus(dir, name string, vals ...any) error {
+	var b bytes.Buffer
+	b.WriteString("go test fuzz v1\n")
+	for _, v := range vals {
+		switch t := v.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%q)\n", t)
+		case string:
+			fmt.Fprintf(&b, "string(%q)\n", t)
+		case byte:
+			fmt.Fprintf(&b, "byte(%q)\n", t)
+		case int64:
+			fmt.Fprintf(&b, "int64(%d)\n", t)
+		case uint64:
+			fmt.Fprintf(&b, "uint64(%d)\n", t)
+		default:
+			return fmt.Errorf("unsupported corpus value type %T", v)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), b.Bytes(), 0o644)
+}
+
+func main() {
+	log.SetFlags(0)
+	vic, err := snowbma.BuildVictim(snowbma.VictimConfig{Key: snowbma.PaperKey})
+	if err != nil {
+		log.Fatalf("synthesize victim: %v", err)
+	}
+	img := vic.Device.ReadFlash()
+
+	p, err := bitstream.ParsePackets(img)
+	if err != nil {
+		log.Fatalf("parse packets: %v", err)
+	}
+	fdri := p.FDRI(img)
+	r, err := bitstream.ParseRegions(fdri)
+	if err != nil {
+		log.Fatalf("parse regions: %v", err)
+	}
+	desc := fdri[r.DescOff : r.DescOff+r.DescLen]
+
+	var kE, kA [bitstream.KeySize]byte
+	kE[0], kA[0] = 1, 2
+	var iv [16]byte
+	sealed, err := bitstream.Seal(img, kE, kA, iv)
+	if err != nil {
+		log.Fatalf("seal: %v", err)
+	}
+
+	noCRC := append([]byte(nil), img...)
+	if err := bitstream.DisableCRC(noCRC); err != nil {
+		log.Fatalf("disable CRC: %v", err)
+	}
+
+	type entry struct {
+		dir, name string
+		vals      []any
+	}
+	entries := []entry{
+		// bitstream: the packet walker gets the real image plus headers
+		// truncated at interesting boundaries.
+		{"internal/bitstream/testdata/fuzz/FuzzParsePackets", "seed-synth-image", []any{img}},
+		{"internal/bitstream/testdata/fuzz/FuzzParsePackets", "seed-truncated-header", []any{img[:8]}},
+		{"internal/bitstream/testdata/fuzz/FuzzParsePackets", "seed-sealed-envelope", []any{sealed}},
+		{"internal/bitstream/testdata/fuzz/FuzzParseRegions", "seed-synth-fdri", []any{fdri}},
+		{"internal/bitstream/testdata/fuzz/FuzzParseRegions", "seed-header-frame-only", []any{fdri[:bitstream.FrameBytes]}},
+		{"internal/bitstream/testdata/fuzz/FuzzUnmarshalDescription", "seed-synth-description", []any{desc}},
+		{"internal/bitstream/testdata/fuzz/FuzzUnmarshalDescription", "seed-truncated-description", []any{desc[:len(desc)/2]}},
+		{"internal/bitstream/testdata/fuzz/FuzzOpenEnvelope", "seed-sealed-image", []any{sealed}},
+		{"internal/bitstream/testdata/fuzz/FuzzOpenEnvelope", "seed-clipped-tail", []any{sealed[:len(sealed)-16]}},
+
+		// device: a loadable image, its CRC-disabled variant (content
+		// mutations get past the checksum) and a one-byte-short copy.
+		{"internal/device/testdata/fuzz/FuzzLoad", "seed-synth-image", []any{img}},
+		{"internal/device/testdata/fuzz/FuzzLoad", "seed-crc-disabled", []any{noCRC}},
+		{"internal/device/testdata/fuzz/FuzzLoad", "seed-short-image", []any{img[:len(img)-1]}},
+
+		// device batch differential: lane counts around the width
+		// boundaries with distinct patch/IV seeds.
+		{"internal/device/testdata/fuzz/FuzzClockBatchDifferential", "seed-lanes-3", []any{byte(2), int64(99), uint64(0x0011223344556677)}},
+		{"internal/device/testdata/fuzz/FuzzClockBatchDifferential", "seed-lanes-63", []any{byte(62), int64(-17), uint64(0xFFFFFFFFFFFFFFFF)}},
+		{"internal/device/testdata/fuzz/FuzzClockBatchDifferential", "seed-lanes-wrap", []any{byte(200), int64(5), uint64(0)}},
+
+		// boolfn: paper expressions (F8/F19 style), operator soup and
+		// near-miss syntax the in-code seeds don't cover.
+		{"internal/boolfn/testdata/fuzz/FuzzParse", "seed-z-path", []any{"(a1^a2^a3)a4a5!a6"}},
+		{"internal/boolfn/testdata/fuzz/FuzzParse", "seed-f8-style", []any{"a6(a1a2 + !a1a3) + !a6(a1a4 + !a1a5)"}},
+		{"internal/boolfn/testdata/fuzz/FuzzParse", "seed-postfix-negation", []any{"a1'a2' ^ (a3 + a4')"}},
+		{"internal/boolfn/testdata/fuzz/FuzzParse", "seed-constants", []any{"1 ^ 0 + a1(1)"}},
+		{"internal/boolfn/testdata/fuzz/FuzzParse", "seed-deep-nesting", []any{"((((((a1 ^ a2))))))!((a3))"}},
+		{"internal/boolfn/testdata/fuzz/FuzzParse", "seed-unbalanced", []any{"((a1 ^ a2"}},
+	}
+	for _, e := range entries {
+		if err := writeCorpus(e.dir, e.name, e.vals...); err != nil {
+			log.Fatalf("write %s/%s: %v", e.dir, e.name, err)
+		}
+	}
+	log.Printf("wrote %d corpus files", len(entries))
+}
