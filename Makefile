@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test tier1 race bench bench-json trace-smoke campaign-smoke fuzz clean
+.PHONY: all build vet test tier1 race bench bench-json trace-smoke campaign-smoke serve-smoke fuzz clean
 
 all: tier1
 
@@ -31,14 +31,17 @@ bench:
 # traced end-to-end variant, so batch-64 vs batch-64-traced in
 # BENCH_PR3.json pins the telemetry overhead (budget: <5%). PR4 adds
 # campaign throughput (full synthesize→attack→verify scenarios per
-# second) at pool width 1 vs all CPUs.
+# second) at pool width 1 vs all CPUs. PR5 adds end-to-end service
+# throughput (full attack jobs per second through the job engine on a
+# saturated worker pool against a cache-warm victim).
 BENCH_PR2 = BenchmarkAttackEndToEnd|BenchmarkCandidateSweep|BenchmarkClockBatch|BenchmarkScannerBatchVsSequential|BenchmarkFindLUT10MB
 BENCH_PR3 = BenchmarkAttackEndToEnd
 BENCH_PR4 = BenchmarkCampaignThroughput
+BENCH_PR5 = BenchmarkServiceThroughput
 bench-json:
-	$(GO) test -run xxx -bench '$(BENCH_PR4)' -benchtime 3x ./internal/campaign \
-		| $(GO) run ./tools/benchjson -o BENCH_PR4.json
-	@cat BENCH_PR4.json
+	$(GO) test -run xxx -bench '$(BENCH_PR5)' -benchtime 10x ./internal/service \
+		| $(GO) run ./tools/benchjson -o BENCH_PR5.json
+	@cat BENCH_PR5.json
 
 # trace-smoke exercises the observability path end to end: run the
 # attack with -trace, then feed the NDJSON through the independent
@@ -59,6 +62,15 @@ campaign-smoke:
 	$(GO) run -race ./cmd/snowbma campaign -runs 25 -chaos -seed 7 -parallel 2 \
 		-json /tmp/snowbma-campaign.json
 	@test -s /tmp/snowbma-campaign.json || { echo "empty campaign report"; exit 1; }
+
+# serve-smoke is the end-to-end serving exercise under the race
+# detector: concurrent attack jobs over HTTP recover correct keys
+# through one cached victim build, queue overflow surfaces as a typed
+# 429, a running campaign job is cancelled mid-flight, and shutdown
+# drains the rest without leaking a goroutine.
+serve-smoke:
+	$(GO) test -race -count=1 -v -run 'TestServeSmoke|TestServeOnLifecycle' \
+		./internal/service ./cmd/snowbma
 
 # Short fuzz pass over the scanner differential target.
 fuzz:

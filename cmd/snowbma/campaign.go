@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"snowbma"
+	"snowbma/internal/core"
 	"snowbma/internal/report"
 )
 
@@ -64,8 +65,12 @@ func cmdCampaign(args []string) error {
 	if *parallel < 0 {
 		return fmt.Errorf("campaign: -parallel must be non-negative, got %d (0 means all CPUs)", *parallel)
 	}
-	if *lanes < 0 || *lanes > snowbma.MaxLanes {
-		return fmt.Errorf("campaign: -lanes must be between 0 and %d, got %d", snowbma.MaxLanes, *lanes)
+	// 0 means "randomize per scenario"; anything else must be a valid
+	// sweep width, checked by the same validator every layer shares.
+	if *lanes != 0 {
+		if err := core.ValidateLanes(*lanes); err != nil {
+			return fmt.Errorf("campaign: -lanes: %w", err)
+		}
 	}
 	tel := snowbma.NewTelemetry()
 	rep, err := snowbma.RunCampaign(snowbma.CampaignConfig{

@@ -13,6 +13,7 @@
 //	snowbma keystream  [-key ...] [-iv ...] [-n 16] [-stuck-init] [-stuck-gen] [-zero-lfsr]
 //	snowbma inspect    -bits file
 //	snowbma complexity [-m 32] [-bits 128]
+//	snowbma serve      [-addr host:port] [-workers N] [-queue N] [-drain 1m] [-q]
 package main
 
 import (
@@ -75,6 +76,8 @@ func main() {
 		err = cmdComplexity(args)
 	case "campaign":
 		err = cmdCampaign(args)
+	case "serve":
+		err = cmdServe(args)
 	default:
 		usage()
 	}
@@ -103,7 +106,8 @@ commands:
   verify      boot a bitstream and check it against the software model
   export      write the mapped design as BLIF and structural netlist
   complexity  countermeasure complexity analysis (Lemma VII-A)
-  campaign    run a randomized attack campaign (optionally with chaos faults)`)
+  campaign    run a randomized attack campaign (optionally with chaos faults)
+  serve       run the attack-as-a-service HTTP job engine`)
 	os.Exit(2)
 }
 
@@ -260,8 +264,8 @@ func cmdAttack(args []string) error {
 	keyStr := keyFlag(fs)
 	ivStr := ivFlag(fs)
 	_ = fs.Parse(args)
-	if *lanes < 1 || *lanes > snowbma.MaxLanes {
-		return fmt.Errorf("attack: -lanes must be between 1 and %d, got %d", snowbma.MaxLanes, *lanes)
+	if err := core.ValidateLanes(*lanes); err != nil {
+		return fmt.Errorf("attack: -lanes: %w", err)
 	}
 	traceFile, err := openTrace("attack", fs, *tracePath)
 	if err != nil {

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
+
+	"snowbma/internal/core"
 )
 
 func TestParseWords(t *testing.T) {
@@ -140,9 +142,15 @@ func TestCmdAttackEndToEnd(t *testing.T) {
 }
 
 func TestCmdAttackLanesErrorMessage(t *testing.T) {
+	// Lane validation is unified across CLI, facade, campaign and service:
+	// the command wraps the shared core.ErrLanes instead of formatting its
+	// own bound.
 	err := cmdAttack([]string{"-lanes", "65"})
-	if err == nil || !strings.Contains(err.Error(), "-lanes must be between 1 and 64") {
-		t.Fatalf("unexpected -lanes error: %v", err)
+	if !errors.Is(err, core.ErrLanes) {
+		t.Fatalf("attack -lanes 65 = %v, want core.ErrLanes", err)
+	}
+	if err := cmdCampaign([]string{"-lanes", "65", "-runs", "1"}); !errors.Is(err, core.ErrLanes) {
+		t.Fatalf("campaign -lanes 65 = %v, want core.ErrLanes", err)
 	}
 }
 

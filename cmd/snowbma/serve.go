@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"snowbma/internal/service"
+)
+
+// ErrServeFlag is the named validation error for serve's pool-shape
+// flags, matchable with errors.Is regardless of which flag tripped it.
+var ErrServeFlag = errors.New("invalid serve flag")
+
+// cmdServe runs the attack-as-a-service HTTP endpoint: a bounded
+// worker pool consuming attack/census/findlut/campaign jobs from a
+// bounded queue, with job lifecycle endpoints, /metrics and /healthz.
+// SIGINT/SIGTERM triggers a graceful drain bounded by -drain.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8347", "listen address")
+	workers := fs.Int("workers", 0, "worker-pool width (0 = min(NumCPU, 4))")
+	queue := fs.Int("queue", 0, "bounded job-queue depth (0 = 16)")
+	cache := fs.Int("cache", 0, "victim build-cache capacity (0 = default)")
+	drain := fs.Duration("drain", time.Minute, "graceful-shutdown drain deadline")
+	quiet := fs.Bool("q", false, "suppress job lifecycle logging")
+	_ = fs.Parse(args)
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"workers", *workers}, {"queue", *queue}, {"cache", *cache}} {
+		if f.v < 0 {
+			return fmt.Errorf("serve: %w: -%s must be non-negative, got %d (0 means the default)",
+				ErrServeFlag, f.name, f.v)
+		}
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("serve: %w: -drain must be positive, got %v", ErrServeFlag, *drain)
+	}
+	logf := func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[serve] "+f+"\n", a...) }
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return serveOn(ln, service.Config{
+		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, Logf: logf,
+	}, *drain, logf, nil)
+}
+
+// serveOn runs the engine's HTTP handler on an already-bound listener
+// until a termination signal (or a send on stop, which tests use in
+// place of SIGINT), then drains the job queue within the deadline.
+func serveOn(ln net.Listener, cfg service.Config, drain time.Duration,
+	logf func(string, ...any), stop chan os.Signal) error {
+	eng := service.New(cfg)
+	srv := &http.Server{Handler: eng.Handler()}
+	if stop == nil {
+		stop = make(chan os.Signal, 1)
+	}
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logf("listening on %s", ln.Addr())
+
+	select {
+	case sig := <-stop:
+		logf("received %v, draining (deadline %v)", sig, drain)
+	case err := <-errc:
+		// Listener failure before any signal: shut the engine down hard
+		// and surface the serve error.
+		eng.Shutdown(context.Background())
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop accepting connections first, then drain queued/running jobs.
+	if err := srv.Shutdown(ctx); err != nil {
+		logf("http shutdown: %v", err)
+	}
+	if err := eng.Shutdown(ctx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	logf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"snowbma/internal/service"
+)
+
+func TestCmdServeFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-queue", "-2"},
+		{"-cache", "-1"},
+		{"-drain", "0s"},
+		{"-drain", "-1s"},
+	} {
+		if err := cmdServe(args); !errors.Is(err, ErrServeFlag) {
+			t.Errorf("serve %v = %v, want ErrServeFlag", args, err)
+		}
+	}
+	// An unbindable address must fail before any engine work.
+	if err := cmdServe([]string{"-addr", "256.0.0.0:1", "-q"}); err == nil {
+		t.Error("serve accepted an unbindable address")
+	}
+}
+
+// TestServeOnLifecycle boots the real serve loop on an ephemeral port,
+// checks /healthz over the wire, then stops it through the signal
+// channel path used by SIGINT/SIGTERM.
+func TestServeOnLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serveOn(ln, service.Config{Workers: 1, QueueDepth: 1},
+			time.Minute, func(string, ...any) {}, stop)
+	}()
+
+	url := "http://" + ln.Addr().String()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			var hz struct {
+				Status string `json:"status"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&hz)
+			resp.Body.Close()
+			if derr != nil || hz.Status != "ok" {
+				t.Fatalf("healthz = %+v, %v", hz, derr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveOn = %v, want clean drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serveOn did not return after the stop signal")
+	}
+}

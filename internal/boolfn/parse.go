@@ -234,3 +234,16 @@ func ParseInit(s string) (TT, error) {
 	}
 	return TT(v), nil
 }
+
+// ParseAuto dispatches on the expression shape: strings carrying an
+// INIT prefix ("64'h..." or "0x...") parse as truth-table literals,
+// everything else as paper-notation Boolean expressions. This is the
+// one place user-facing tools (facade, CLI, service jobs) decide which
+// grammar a function string is in.
+func ParseAuto(s string) (TT, error) {
+	t := strings.TrimSpace(s)
+	if strings.HasPrefix(t, "64'h") || strings.HasPrefix(t, "0x") {
+		return ParseInit(t)
+	}
+	return Parse(t)
+}

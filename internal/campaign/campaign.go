@@ -22,6 +22,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,7 +30,7 @@ import (
 	"sync"
 
 	"snowbma/internal/campaign/chaos"
-	"snowbma/internal/device"
+	"snowbma/internal/core"
 	"snowbma/internal/obs"
 )
 
@@ -62,8 +63,12 @@ func (c Config) validate() error {
 	if c.Parallel < 0 {
 		return fmt.Errorf("%w: Parallel must be non-negative, got %d", ErrConfig, c.Parallel)
 	}
-	if c.Lanes < 0 || c.Lanes > device.MaxLanes {
-		return fmt.Errorf("%w: Lanes must be between 0 and %d, got %d", ErrConfig, device.MaxLanes, c.Lanes)
+	if c.Lanes != 0 {
+		// Lanes 0 means "randomize per scenario"; anything else must be a
+		// valid sweep width by the one shared validator.
+		if err := core.ValidateLanes(c.Lanes); err != nil {
+			return fmt.Errorf("%w: Lanes: %w", ErrConfig, err)
+		}
 	}
 	return nil
 }
@@ -93,6 +98,8 @@ const (
 	OutcomeUnverified     = "unverified_success"
 	OutcomeBuildFailure   = "build_failure"
 	OutcomeConformance    = "conformance_mismatch"
+	// OutcomeCancelled: the scenario's context was cancelled mid-attack.
+	OutcomeCancelled = "cancelled"
 	// Chaos outcomes are "chaos:<fault>".
 )
 
@@ -164,6 +171,17 @@ func (r *Report) JSON() ([]byte, error) {
 // Run executes the campaign: generate the scenario list, execute it
 // over a bounded worker pool, classify and aggregate.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, no new
+// scenarios are dispatched, every in-flight attack stops at its next
+// checkpoint, and the campaign returns an error wrapping
+// core.ErrCancelled instead of a (partial, non-deterministic) report.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -183,15 +201,24 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = RunScenario(scns[i], cfg.Tel)
+				results[i] = RunScenarioContext(ctx, scns[i], cfg.Tel)
 			}
 		}()
 	}
+dispatch:
 	for i := range scns {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		span.SetAttr("cancelled", true)
+		return nil, fmt.Errorf("campaign: %w: %v", core.ErrCancelled, cerr)
+	}
 	rep := &Report{
 		Schema:  1,
 		Seed:    cfg.Seed,

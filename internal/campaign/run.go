@@ -1,76 +1,52 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 
 	"snowbma/internal/bitstream"
 	"snowbma/internal/campaign/chaos"
 	"snowbma/internal/core"
 	"snowbma/internal/device"
 	"snowbma/internal/hdl"
-	"snowbma/internal/mapper"
 	"snowbma/internal/obs"
 	"snowbma/internal/snow3g"
+	"snowbma/internal/victim"
 )
 
 // conformanceWords is how many keystream words the golden-model stage
 // compares across the three implementations.
 const conformanceWords = 8
 
-// buildVictim synthesizes the scenario's design and programs a simulated
-// FPGA with it — the same pipeline as the snowbma facade, restated here
-// because the facade package sits above this one.
-func buildVictim(s Scenario) (*device.FPGA, error) {
-	d := hdl.Build(hdl.Config{Key: s.Key, Protected: s.Countermeasure == CounterPaper})
-	opts := mapper.Options{K: 6, Boundaries: d.Boundaries}
-	pol := mapper.PackPolicy{}
-	switch s.Countermeasure {
-	case CounterPaper:
-		opts.TrivialCuts = d.TrivialCuts
-		pol = mapper.PackPolicy{Prefer: d.TrivialCuts, PairWithOthers: true}
-	case CounterAuto:
-		plan, err := mapper.PlanCountermeasure(d.N, d.V, s.AutoProtectBits)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: countermeasure planning: %w", err)
-		}
-		opts.TrivialCuts = plan.TrivialCuts
-		pol = mapper.PackPolicy{Prefer: plan.TrivialCuts, PairWithOthers: true}
+// victimConfig translates a scenario's synthesis fields into the shared
+// victim-build Config (the same pipeline the facade and the service job
+// engine use).
+func victimConfig(s Scenario) victim.Config {
+	cfg := victim.Config{
+		Key:       s.Key,
+		Protected: s.Countermeasure == CounterPaper,
+		PadFrames: s.PadFrames,
+		Seed:      s.DesignSeed,
 	}
-	r, err := mapper.Map(d.N, opts)
-	if err != nil {
-		return nil, fmt.Errorf("campaign: mapping: %w", err)
+	if s.Countermeasure == CounterAuto {
+		cfg.AutoProtectBits = s.AutoProtectBits
 	}
-	phys := mapper.Pack(r, pol)
-	img, err := bitstream.Assemble(d.N, phys, bitstream.AssembleOptions{
-		Seed: s.DesignSeed, PadFrames: s.PadFrames,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("campaign: assembly: %w", err)
-	}
-	var kE [bitstream.KeySize]byte
 	if s.Encrypted {
-		var kA [bitstream.KeySize]byte
-		deriveKeys(s.Seed, &kE, &kA)
-		var cbcIV [16]byte
-		img, err = bitstream.Seal(img, kE, kA, cbcIV)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: sealing: %w", err)
-		}
+		k := victim.DeriveKeys(s.Seed)
+		cfg.Encrypt = &k
 	}
-	fpga := device.New(kE)
-	if err := fpga.Program(img); err != nil {
-		return nil, fmt.Errorf("campaign: programming: %w", err)
-	}
-	return fpga, nil
+	return cfg
 }
 
-// deriveKeys fills the scenario's bitstream protection keys K_E and K_A
-// deterministically from its seed.
-func deriveKeys(seed int64, kE, kA *[bitstream.KeySize]byte) {
-	kr := rand.New(rand.NewSource(seed ^ 0x6b65797374726d)) // "keystrm"
-	kr.Read(kE[:])
-	kr.Read(kA[:])
+// buildVictim synthesizes the scenario's design and programs a simulated
+// FPGA with it, through the shared internal/victim pipeline.
+func buildVictim(s Scenario) (*device.FPGA, error) {
+	v, err := victim.Build(victimConfig(s))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return v.Device, nil
 }
 
 // conformance cross-checks three implementations of the scenario's
@@ -108,7 +84,7 @@ func conformance(fpga *device.FPGA, s Scenario) string {
 
 // runAttack executes the scenario's configured attack flavor against
 // the (possibly chaos-wrapped) victim.
-func runAttack(v core.Victim, s Scenario, tel *obs.Telemetry) (*core.Report, error) {
+func runAttack(ctx context.Context, v core.Victim, s Scenario, tel *obs.Telemetry) (*core.Report, error) {
 	atk, err := core.NewAttackCRCMode(v, s.IV, nil, s.RecomputeCRC)
 	if err != nil {
 		return nil, err
@@ -117,18 +93,27 @@ func runAttack(v core.Victim, s Scenario, tel *obs.Telemetry) (*core.Report, err
 		return nil, err
 	}
 	atk.SetTelemetry(tel)
+	atk.SetContext(ctx)
 	if s.Census {
 		return atk.RunCensusGuided()
 	}
 	return atk.Run()
 }
 
-// RunScenario builds the scenario's victim, runs the golden-model
+// RunScenario executes one scenario to completion (no cancellation).
+func RunScenario(s Scenario, tel *obs.Telemetry) Result {
+	return RunScenarioContext(context.Background(), s, tel)
+}
+
+// RunScenarioContext builds the scenario's victim, runs the golden-model
 // conformance stage, executes the attack (through the chaos injector
-// when the scenario carries a fault) and classifies the outcome.
+// when the scenario carries a fault) and classifies the outcome. The
+// context cancels the attack between phases and sweep chunks; a
+// cancelled scenario classifies as a clean failure with the "cancelled"
+// outcome, never as an invariant violation.
 // It never panics: a panic anywhere in the pipeline is caught and
 // recorded as an invariant violation.
-func RunScenario(s Scenario, tel *obs.Telemetry) (res Result) {
+func RunScenarioContext(ctx context.Context, s Scenario, tel *obs.Telemetry) (res Result) {
 	res.Scenario = s
 	res.Conformance = "ok"
 	span := tel.StartSpan("campaign.scenario",
@@ -160,7 +145,7 @@ func RunScenario(s Scenario, tel *obs.Telemetry) (res Result) {
 		res.Conformance = msg
 		return res
 	}
-	var victim core.Victim = fpga
+	var target core.Victim = fpga
 	var injector *chaos.Device
 	if s.Fault != chaos.None {
 		injector, err = chaos.Wrap(fpga, s.Fault, s.Seed)
@@ -170,9 +155,9 @@ func RunScenario(s Scenario, tel *obs.Telemetry) (res Result) {
 			res.Error = err.Error()
 			return res
 		}
-		victim = injector
+		target = injector
 	}
-	rep, err := runAttack(victim, s, tel)
+	rep, err := runAttack(ctx, target, s, tel)
 	if injector != nil {
 		res.PortLoads = injector.Loads()
 	}
@@ -182,6 +167,13 @@ func RunScenario(s Scenario, tel *obs.Telemetry) (res Result) {
 	if err != nil {
 		res.Verdict = VerdictCleanFailure
 		res.Error = err.Error()
+		if errors.Is(err, core.ErrCancelled) {
+			// Cancellation is imposed on the scenario from outside; it
+			// says nothing about the attack-vs-victim contract.
+			res.Outcome = OutcomeCancelled
+			res.Expected = true
+			return res
+		}
 		switch {
 		case s.Fault != chaos.None:
 			res.Outcome = "chaos:" + string(s.Fault)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -87,6 +88,10 @@ func (r *Report) HardwareEstimate(secondsPerLoad float64) float64 {
 type Attack struct {
 	dev Victim
 	iv  snow3g.IV
+	// ctx is the attack's cancellation context (SetContext). checkpoint
+	// consults it between phases and between candidate trials, so a
+	// cancelled or timed-out run stops within one sweep chunk.
+	ctx context.Context
 	// log is the structured leveled logger (nil-safe); NewAttack wraps a
 	// legacy printf-style callback into one, preserving its signature.
 	log *obs.Logger
@@ -154,7 +159,7 @@ func NewAttack(dev Victim, iv snow3g.IV, logf func(string, ...any)) (*Attack, er
 // options; encrypted images ignore the choice (their CRC is disabled by
 // default, integrity riding on the HMAC).
 func NewAttackCRCMode(dev Victim, iv snow3g.IV, logf func(string, ...any), recompute bool) (*Attack, error) {
-	a := &Attack{dev: dev, iv: iv, log: obs.NewFuncLogger(logf), recomputeCRC: recompute, lanes: DefaultLanes}
+	a := &Attack{dev: dev, iv: iv, ctx: context.Background(), log: obs.NewFuncLogger(logf), recomputeCRC: recompute, lanes: DefaultLanes}
 	a.rep.Batch.Width = a.lanes
 	img := dev.ReadFlash()
 	if len(img) == 0 {
@@ -193,6 +198,34 @@ func NewAttackCRCMode(dev Victim, iv snow3g.IV, logf func(string, ...any), recom
 		a.clbStart = p.FDRIOffset + bitstream.FrameBytes
 	}
 	return a, nil
+}
+
+// ErrCancelled reports that the attack's context was cancelled or timed
+// out. The run stops at the next checkpoint — between phases or between
+// candidate trials, i.e. within one sweep chunk — with no partial key in
+// the report and the victim restored by the usual epilogue.
+var ErrCancelled = errors.New("core: attack cancelled")
+
+// SetContext attaches a cancellation context to the attack. A nil ctx
+// restores the default (never cancelled). Call before Run; the attack
+// observes cancellation at phase boundaries and between candidate
+// trials, surfacing it as ErrCancelled.
+func (a *Attack) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a.ctx = ctx
+}
+
+// checkpoint is the attack's cancellation probe: a typed ErrCancelled
+// when the context is done, nil otherwise. Placed between phases and
+// between candidate consumptions — never inside a fabric pass — so an
+// in-flight chunk always completes and accounting stays exact.
+func (a *Attack) checkpoint() error {
+	if err := a.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+	return nil
 }
 
 // aligned reports whether a match sits on a valid LUT slot position of
@@ -409,6 +442,9 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 	})
 	var confirmed []ConfirmedLUT
 	for ci := 0; ci < len(cands); ci++ {
+		if cerr := a.checkpoint(); cerr != nil {
+			return cerr
+		}
 		m := cands[ci]
 		skip := false
 		for _, c := range confirmed {
@@ -710,6 +746,9 @@ func (a *Attack) resolveBetaPruned(matches []Match, specOf []muxSpec, applyAlpha
 				if surviving <= 32 {
 					break
 				}
+				if cerr := a.checkpoint(); cerr != nil {
+					return nil, cerr
+				}
 				k := len(matches) + j
 				if skip[k] {
 					continue
@@ -768,6 +807,9 @@ func (a *Attack) resolveBetaPruned(matches []Match, specOf []muxSpec, applyAlpha
 		apply(img, hyp[i], nil, -1)
 	})
 	for i, sel1 := range hyp {
+		if cerr := a.checkpoint(); cerr != nil {
+			return nil, cerr
+		}
 		z, err := swHyp.run(i)
 		s := -1
 		if err == nil {
@@ -801,6 +843,9 @@ func (a *Attack) resolveBetaPruned(matches []Match, specOf []muxSpec, applyAlpha
 		})
 		bestIdx, bestGain := -1, 0
 		for k, i := range idxs {
+			if cerr := a.checkpoint(); cerr != nil {
+				return nil, cerr
+			}
 			z, err := sw.run(k)
 			s := -1
 			if err == nil {
@@ -848,6 +893,9 @@ func (a *Attack) identifyVPairsWith(beta *betaState, applyAlpha func([]byte), ke
 	resolved := make([]int, len(a.rep.LUT1))
 	for i := range resolved {
 		resolved[i] = -1
+	}
+	if cerr := a.checkpoint(); cerr != nil {
+		return cerr
 	}
 	// The two probes differ only in the kept variable: one sweep, one
 	// fabric pass in batch mode.
@@ -900,6 +948,9 @@ func (a *Attack) ExtractKey() error {
 func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn.TT) error {
 	span := a.tel.StartSpan("attack.extract_key")
 	defer span.End()
+	if cerr := a.checkpoint(); cerr != nil {
+		return cerr
+	}
 	sw := a.newSweep(1, w, func(_ int, img []byte) {
 		applyAlpha(img)
 		for _, c := range a.rep.LUT1 {
@@ -911,6 +962,12 @@ func (a *Attack) extractKeyWith(applyAlpha func([]byte), keepFn func(int) boolfn
 		return fmt.Errorf("core: faulty keystream: %w", err)
 	}
 	a.countLoad()
+	// A cancellation racing the final sweep must not surface a key: a
+	// cancelled run's contract is ErrCancelled and an empty key, never a
+	// partial (or even complete) secret.
+	if cerr := a.checkpoint(); cerr != nil {
+		return cerr
+	}
 	a.rep.FaultyFinal = z
 	key, iv, s0, err := snow3g.RecoverFromKeystream(z)
 	if err != nil {
@@ -953,8 +1010,14 @@ func (a *Attack) Run() (rep *Report, err error) {
 		a.publishStats()
 		rep = a.rep.Clone()
 	}()
+	if err = a.checkpoint(); err != nil {
+		return rep, err
+	}
 	a.CountCandidates()
 	if err = a.VerifyZPath(); err != nil {
+		return rep, err
+	}
+	if err = a.checkpoint(); err != nil {
 		return rep, err
 	}
 	if err = a.CollectFeedbackCandidates(); err != nil {
@@ -963,6 +1026,9 @@ func (a *Attack) Run() (rep *Report, err error) {
 	beta, berr := a.MakeKeyIndependent()
 	if berr != nil {
 		return rep, berr
+	}
+	if err = a.checkpoint(); err != nil {
+		return rep, err
 	}
 	if err = a.IdentifyVPairs(beta); err != nil {
 		return rep, err

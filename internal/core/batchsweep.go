@@ -23,15 +23,27 @@ import (
 // lane capacity of the bitsliced batch evaluator.
 const DefaultLanes = device.MaxLanes
 
-// ErrLanes is wrapped by SetLanes for out-of-range sweep widths.
+// ErrLanes is wrapped by ValidateLanes (and therefore SetLanes) for
+// out-of-range sweep widths.
 var ErrLanes = errors.New("lanes out of range")
+
+// ValidateLanes is the single lane-width validator: every boundary that
+// accepts a sweep width — the facade options, the CLI flags, the
+// campaign config, the service job spec — routes through it, so the
+// accepted range and the error shape cannot drift apart.
+func ValidateLanes(n int) error {
+	if n < 1 || n > device.MaxLanes {
+		return fmt.Errorf("core: %w: must be between 1 and %d, got %d", ErrLanes, device.MaxLanes, n)
+	}
+	return nil
+}
 
 // SetLanes sets the candidate-sweep width (lanes per bitsliced fabric
 // pass). Width 1 disables batching and evaluates every candidate on the
 // scalar path.
 func (a *Attack) SetLanes(n int) error {
-	if n < 1 || n > device.MaxLanes {
-		return fmt.Errorf("core: %w: must be between 1 and %d, got %d", ErrLanes, device.MaxLanes, n)
+	if err := ValidateLanes(n); err != nil {
+		return err
 	}
 	a.lanes = n
 	a.rep.Batch.Width = n

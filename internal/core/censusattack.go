@@ -39,6 +39,9 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 		rep = a.rep.Clone()
 	}()
 
+	if err = a.checkpoint(); err != nil {
+		return rep, err
+	}
 	classes, cerr := CensusAllClasses(a.plain, 8)
 	if cerr != nil {
 		return rep, cerr
@@ -91,9 +94,13 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 	// 1. z-path: the first class whose members verify to exactly 32.
 	var zClass *CensusClass
 	for i := range zClasses {
-		if err := a.verifyZPathWith(zClasses[i].Canon); err == nil {
+		verr := a.verifyZPathWith(zClasses[i].Canon)
+		if verr == nil {
 			zClass = &zClasses[i]
 			break
+		}
+		if errors.Is(verr, ErrCancelled) {
+			return rep, verr
 		}
 	}
 	if zClass == nil {
@@ -155,6 +162,9 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 		return rep, fmt.Errorf("core: %d feedback candidate classes; census attack not attempted", len(fbClasses))
 	}
 	for mask := 1; mask < 1<<uint(len(fbClasses)); mask++ {
+		if err = a.checkpoint(); err != nil {
+			return rep, err
+		}
 		var subset []CensusClass
 		total := 0
 		for i, c := range fbClasses {
@@ -212,6 +222,9 @@ func (a *Attack) RunCensusGuided() (rep *Report, err error) {
 		a.rep.MuxMatches = len(matches)
 		beta, berr := a.resolveBetaWith(matches, specs, applyAlpha)
 		if berr != nil {
+			if errors.Is(berr, ErrCancelled) {
+				return rep, berr
+			}
 			a.log.Infof("census: feedback subset rejected by the Table III criterion; trying next")
 			continue
 		}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMetricsText renders metric snapshots in the Prometheus text
+// exposition format (text/plain; version 0.0.4), so a /metrics endpoint
+// can be scraped without a client library. Metric names translate by
+// replacing every '.' with '_' ("attack.loads" → "attack_loads");
+// counters gain a _total suffix, histograms export their count/sum
+// aggregate as _count and _sum plus _min and _max gauges (the Registry
+// histogram is deliberately bucket-free).
+//
+// Registries are written in argument order; when the same metric name
+// appears in several registries the values are summed first, so the
+// output never repeats a sample name (which scrapers reject).
+func WriteMetricsText(w io.Writer, regs ...*Registry) error {
+	type agg struct {
+		kind  string
+		value float64
+		hist  HistValue
+	}
+	merged := map[string]*agg{}
+	var order []string
+	for _, r := range regs {
+		for _, m := range r.Snapshot() {
+			key := m.Kind + "\x00" + m.Name
+			a, ok := merged[key]
+			if !ok {
+				a = &agg{kind: m.Kind}
+				merged[key] = a
+				order = append(order, key)
+			}
+			a.value += m.Value
+			if m.Kind == "hist" {
+				if a.hist.Count == 0 || m.Hist.Min < a.hist.Min {
+					a.hist.Min = m.Hist.Min
+				}
+				if a.hist.Count == 0 || m.Hist.Max > a.hist.Max {
+					a.hist.Max = m.Hist.Max
+				}
+				a.hist.Count += m.Hist.Count
+				a.hist.Sum += m.Hist.Sum
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, key := range order {
+		a := merged[key]
+		name := strings.ReplaceAll(key[strings.IndexByte(key, 0)+1:], ".", "_")
+		var err error
+		switch a.kind {
+		case "counter":
+			_, err = fmt.Fprintf(bw, "# TYPE %s_total counter\n%s_total %g\n", name, name, a.value)
+		case "gauge":
+			_, err = fmt.Fprintf(bw, "# TYPE %s gauge\n%s %g\n", name, name, a.value)
+		case "hist":
+			_, err = fmt.Fprintf(bw,
+				"# TYPE %s summary\n%s_count %d\n%s_sum %g\n%s_min %g\n%s_max %g\n",
+				name, name, a.hist.Count, name, a.hist.Sum, name, a.hist.Min, name, a.hist.Max)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

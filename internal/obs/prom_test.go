@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteMetricsText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("attack.loads").Add(47)
+	r.Gauge("scan.workers").Set(8)
+	r.Histogram("batch.lanes_per_pass").Observe(1)
+	r.Histogram("batch.lanes_per_pass").Observe(35)
+	var b strings.Builder
+	if err := WriteMetricsText(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE attack_loads_total counter\nattack_loads_total 47\n",
+		"# TYPE scan_workers gauge\nscan_workers 8\n",
+		"batch_lanes_per_pass_count 2\n",
+		"batch_lanes_per_pass_sum 36\n",
+		"batch_lanes_per_pass_min 1\n",
+		"batch_lanes_per_pass_max 35\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMetricsTextMergesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("jobs").Add(2)
+	b.Counter("jobs").Add(3)
+	a.Histogram("ms").Observe(10)
+	b.Histogram("ms").Observe(4)
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "\njobs_total ") != 1 {
+		t.Fatalf("duplicate sample names in:\n%s", out)
+	}
+	for _, want := range []string{"jobs_total 5\n", "ms_count 2\n", "ms_sum 14\n", "ms_min 4\n", "ms_max 10\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Nil registries are fine (nil-safe like the rest of the package).
+	if err := WriteMetricsText(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"snowbma/internal/obs"
+)
+
+// Handler returns the engine's HTTP API:
+//
+//	POST   /jobs            submit a JobSpec → 202 Status
+//	                        (400 invalid spec, 429 queue full, 503 shutting down)
+//	GET    /jobs            list job statuses
+//	GET    /jobs/{id}       one job's status
+//	GET    /jobs/{id}/result terminal job's result (409 while queued/running)
+//	GET    /jobs/{id}/trace  terminal job's NDJSON telemetry trace
+//	DELETE /jobs/{id}       cancel (idempotent; 202 with the new status)
+//	GET    /healthz         liveness + queue occupancy (503 when draining)
+//	GET    /metrics         Prometheus text format (engine + process registries)
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", e.handleSubmit)
+	mux.HandleFunc("GET /jobs", e.handleList)
+	mux.HandleFunc("GET /jobs/{id}", e.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", e.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", e.handleTrace)
+	mux.HandleFunc("DELETE /jobs/{id}", e.handleCancel)
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// httpError maps the engine's typed errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotFinished):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "service: bad job spec: " + err.Error()})
+		return
+	}
+	st, err := e.Submit(spec)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (e *Engine) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []Status `json:"jobs"`
+	}{Jobs: e.List()})
+}
+
+func (e *Engine) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := e.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
+	result, st, err := e.Result(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status Status `json:"status"`
+		Result any    `json:"result,omitempty"`
+	}{Status: st, Result: result})
+}
+
+func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Probe the job first so errors are JSON, not half-written NDJSON.
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	terminal := ok && j.terminal()
+	e.mu.Unlock()
+	if !ok {
+		httpError(w, ErrNotFound)
+		return
+	}
+	if !terminal {
+		httpError(w, ErrNotFinished)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Disposition", "attachment; filename=\""+id+".ndjson\"")
+	e.WriteTrace(w, id) //nolint:errcheck // headers are committed; nothing to signal
+}
+
+func (e *Engine) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := e.Cancel(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	e.mu.Lock()
+	queued := e.queuedLocked()
+	running := 0
+	for _, j := range e.jobs {
+		if j.state == StateRunning {
+			running++
+		}
+	}
+	total := len(e.jobs)
+	closed := e.closed
+	e.mu.Unlock()
+	hits, misses, evictions := e.CacheStats()
+	body := struct {
+		Status  string `json:"status"`
+		Queued  int    `json:"queued"`
+		Running int    `json:"running"`
+		Jobs    int    `json:"jobs"`
+		Cache   struct {
+			Hits      int `json:"hits"`
+			Misses    int `json:"misses"`
+			Evictions int `json:"evictions"`
+		} `json:"victim_cache"`
+	}{Status: "ok", Queued: queued, Running: running, Jobs: total}
+	body.Cache.Hits, body.Cache.Misses, body.Cache.Evictions = hits, misses, evictions
+	code := http.StatusOK
+	if closed {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteMetricsText(w, e.tel.Metrics, obs.Default()) //nolint:errcheck
+}

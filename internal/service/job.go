@@ -1,0 +1,221 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"snowbma/internal/core"
+	"snowbma/internal/obs"
+	"snowbma/internal/snow3g"
+	"snowbma/internal/victim"
+)
+
+// Job kinds accepted by the engine.
+const (
+	// KindAttack runs the paper-faithful end-to-end attack against a
+	// freshly synthesized (or cached) victim.
+	KindAttack = "attack"
+	// KindCensus runs the catalogue-free census-guided attack variant.
+	KindCensus = "census"
+	// KindFindLUT synthesizes the victim and runs the FINDLUT batch scan
+	// for one Boolean function over its flash image.
+	KindFindLUT = "findlut"
+	// KindCampaign runs a randomized multi-scenario attack campaign.
+	KindCampaign = "campaign"
+)
+
+// Job states. A job moves queued → running → one of the terminal
+// states; Cancel short-circuits a queued job straight to cancelled.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// ErrSpec is wrapped by Submit for invalid job specifications.
+var ErrSpec = errors.New("service: invalid job spec")
+
+// VictimSpec describes the victim a job synthesizes, mirroring
+// victim.Config except that encryption is requested by flag: the
+// protection keys derive deterministically from the placement seed
+// (victim.DeriveKeys), so a job spec is plain JSON with no key material.
+type VictimSpec struct {
+	Key             snow3g.Key `json:"key"`
+	Protected       bool       `json:"protected,omitempty"`
+	AutoProtectBits int        `json:"auto_protect_bits,omitempty"`
+	Encrypted       bool       `json:"encrypted,omitempty"`
+	PadFrames       int        `json:"pad_frames,omitempty"`
+	Seed            int64      `json:"seed,omitempty"`
+}
+
+// config translates the wire spec into a victim build config.
+func (vs VictimSpec) config() victim.Config {
+	cfg := victim.Config{
+		Key:             vs.Key,
+		Protected:       vs.Protected,
+		AutoProtectBits: vs.AutoProtectBits,
+		PadFrames:       vs.PadFrames,
+		Seed:            vs.Seed,
+	}
+	if vs.Encrypted {
+		seed := vs.Seed
+		if seed == 0 {
+			seed = victim.DefaultSeed
+		}
+		k := victim.DeriveKeys(seed)
+		cfg.Encrypt = &k
+	}
+	return cfg
+}
+
+// CampaignSpec parameterizes a campaign job (campaign.Config without
+// the telemetry handle, which the engine owns).
+type CampaignSpec struct {
+	Runs     int   `json:"runs"`
+	Parallel int   `json:"parallel,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+	Chaos    bool  `json:"chaos,omitempty"`
+	Lanes    int   `json:"lanes,omitempty"`
+}
+
+// JobSpec is the wire-format job submission.
+type JobSpec struct {
+	Kind string `json:"kind"`
+	// Victim and IV drive attack, census and findlut jobs.
+	Victim VictimSpec `json:"victim,omitempty"`
+	IV     snow3g.IV  `json:"iv,omitempty"`
+	// Lanes pins the candidate-sweep width (0 = full width).
+	Lanes int `json:"lanes,omitempty"`
+	// RecomputeCRC makes the attack recompute frame CRCs instead of
+	// disabling the check.
+	RecomputeCRC bool `json:"recompute_crc,omitempty"`
+	// Expr is the findlut search function: paper notation
+	// ("(a1^a2^a3)a4a5!a6") or an INIT literal ("64'hFFF7F7FF00080800").
+	Expr string `json:"expr,omitempty"`
+	// Parallel bounds the findlut scan worker pool (0 = all CPUs).
+	Parallel int `json:"parallel,omitempty"`
+	// Campaign parameterizes a campaign job.
+	Campaign *CampaignSpec `json:"campaign,omitempty"`
+	// TimeoutMS bounds the job's execution once it starts running.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (s JobSpec) validate() error {
+	switch s.Kind {
+	case KindAttack, KindCensus:
+	case KindFindLUT:
+		if s.Expr == "" {
+			return fmt.Errorf("%w: findlut jobs need an expr", ErrSpec)
+		}
+	case KindCampaign:
+		if s.Campaign == nil || s.Campaign.Runs < 1 {
+			return fmt.Errorf("%w: campaign jobs need campaign.runs >= 1", ErrSpec)
+		}
+		if s.Campaign.Lanes != 0 {
+			if err := core.ValidateLanes(s.Campaign.Lanes); err != nil {
+				return fmt.Errorf("%w: campaign.lanes: %w", ErrSpec, err)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %q (want %s|%s|%s|%s)",
+			ErrSpec, s.Kind, KindAttack, KindCensus, KindFindLUT, KindCampaign)
+	}
+	if s.Lanes != 0 {
+		if err := core.ValidateLanes(s.Lanes); err != nil {
+			return fmt.Errorf("%w: lanes: %w", ErrSpec, err)
+		}
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("%w: timeout_ms must be non-negative, got %d", ErrSpec, s.TimeoutMS)
+	}
+	return nil
+}
+
+// AttackResult is the JSON result of an attack or census job.
+type AttackResult struct {
+	Verified bool            `json:"verified"`
+	Key      snow3g.Key      `json:"key"`
+	IV       snow3g.IV       `json:"iv"`
+	Loads    int             `json:"loads"`
+	Batch    core.BatchStats `json:"batch"`
+	// Victim synthesis metadata (from the build, possibly cached).
+	VictimLUTs  int     `json:"victim_luts"`
+	VictimDepth int     `json:"victim_depth"`
+	CriticalNs  float64 `json:"critical_path_ns"`
+}
+
+// FindResult is the JSON result of a findlut job.
+type FindResult struct {
+	// Matches are byte offsets of candidate LUTs in the victim's flash.
+	Matches []int          `json:"matches"`
+	Stats   core.ScanStats `json:"stats"`
+}
+
+// Job is one unit of service work. All mutable fields are guarded by
+// the engine mutex; done is closed exactly once when the job reaches a
+// terminal state.
+type job struct {
+	id     string
+	spec   JobSpec
+	state  string
+	err    string
+	result any
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	ctx    context.Context
+	cancel func()        // cancels ctx
+	done   chan struct{} // closed on terminal state
+	tel    *obs.Telemetry
+}
+
+// Status is the wire-format job status view.
+type Status struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	State     string    `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// DurationMS is the run time of a finished job.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+}
+
+// status snapshots the job under the engine mutex.
+func (j *job) status() Status {
+	st := Status{
+		ID:        j.id,
+		Kind:      j.spec.Kind,
+		State:     j.state,
+		Error:     j.err,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+		if !j.started.IsZero() {
+			st.DurationMS = float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6
+		}
+	}
+	return st
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	switch j.state {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,391 @@
+// Package service is the attack-as-a-service job engine: long-running
+// attack work (full attacks, census attacks, FINDLUT scans, randomized
+// campaigns) submitted as jobs onto a bounded worker pool with a
+// bounded queue, with per-job cancellation, NDJSON trace capture, and a
+// graceful shutdown that drains in-flight work against a deadline.
+//
+// Backpressure is typed, never buffered away: when the queue is full,
+// Submit fails immediately with ErrQueueFull (HTTP 429 at the API
+// layer) — the engine holds at most QueueDepth queued jobs plus Workers
+// running ones, whatever the submission rate.
+//
+// Victim synthesis is the dominant per-job cost for repeated specs, so
+// the engine builds victims through a victim.Cache: identical victim
+// configs synthesize once and every job programs its own fresh device
+// from the cached image (no shared fabric state between jobs).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"snowbma/internal/core"
+	"snowbma/internal/obs"
+	"snowbma/internal/victim"
+)
+
+// Typed submission and lifecycle errors.
+var (
+	// ErrQueueFull: the bounded queue is at capacity; retry later.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown: the engine no longer accepts jobs.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrNotFound: no job with that id.
+	ErrNotFound = errors.New("service: job not found")
+	// ErrNotFinished: the job has not reached a terminal state yet.
+	ErrNotFinished = errors.New("service: job not finished")
+	// ErrDrainDeadline: shutdown hit its deadline and had to cancel
+	// in-flight jobs instead of letting them finish.
+	ErrDrainDeadline = errors.New("service: shutdown deadline exceeded, in-flight jobs cancelled")
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds the number of concurrently running jobs
+	// (0 = NumCPU, capped at 4 — attack jobs are CPU-heavy).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (0 = 16). Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// CacheSize bounds the victim build cache (0 = victim.DefaultCacheSize).
+	CacheSize int
+	// Tel receives engine-level metrics and spans (nil = fresh handle).
+	Tel *obs.Telemetry
+	// Logf receives human-readable engine logs (nil = silent).
+	Logf func(string, ...any)
+}
+
+// Engine is the job engine. Create with New, stop with Shutdown.
+type Engine struct {
+	cfg   Config
+	tel   *obs.Telemetry
+	logf  func(string, ...any)
+	cache *victim.Cache
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+
+	// execFn runs one job body; tests substitute it to make queue and
+	// lifecycle behavior deterministic without synthesizing victims.
+	execFn func(ctx context.Context, j *job) (any, error)
+}
+
+// New starts an engine: Workers goroutines consuming a QueueDepth-deep
+// job queue.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = min(runtime.NumCPU(), 4)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = victim.DefaultCacheSize
+	}
+	tel := cfg.Tel
+	if tel == nil {
+		tel = obs.New()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	e := &Engine{
+		cfg:   cfg,
+		tel:   tel,
+		logf:  logf,
+		cache: victim.NewCache(cfg.CacheSize),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  map[string]*job{},
+	}
+	e.cache.Tel = tel
+	e.execFn = e.exec
+	tel.Gauge("service.workers").Set(float64(cfg.Workers))
+	tel.Gauge("service.queue_depth").Set(float64(cfg.QueueDepth))
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit validates the spec and enqueues a job. It never blocks: a full
+// queue is ErrQueueFull, a closed engine ErrShuttingDown.
+func (e *Engine) Submit(spec JobSpec) (Status, error) {
+	if err := spec.validate(); err != nil {
+		e.tel.Counter("service.jobs_invalid").Inc()
+		return Status{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		e.tel.Counter("service.jobs_rejected_shutdown").Inc()
+		return Status{}, ErrShuttingDown
+	}
+	e.seq++
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if spec.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j := &job{
+		id:        fmt.Sprintf("job-%04d", e.seq),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		tel:       obs.New(),
+	}
+	j.ctx = ctx
+	select {
+	case e.queue <- j:
+	default:
+		cancel()
+		e.seq-- // the id was never exposed; reuse it
+		e.tel.Counter("service.jobs_rejected_full").Inc()
+		return Status{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth)
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.tel.Counter("service.jobs_submitted").Inc()
+	e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
+	e.logf("service: %s submitted (%s)", j.id, spec.Kind)
+	return j.status(), nil
+}
+
+// queuedLocked counts jobs still in StateQueued (engine mutex held).
+func (e *Engine) queuedLocked() int {
+	n := 0
+	for _, j := range e.jobs {
+		if j.state == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// worker consumes jobs until the queue is closed and drained.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.run(j)
+	}
+}
+
+// run executes one job and records its terminal state.
+func (e *Engine) run(j *job) {
+	e.mu.Lock()
+	if j.terminal() {
+		// Cancelled while still queued: nothing to run.
+		e.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
+	e.mu.Unlock()
+
+	span := j.tel.StartSpan("service.job",
+		obs.KV("id", j.id), obs.KV("kind", j.spec.Kind))
+	result, err := e.runSafe(j)
+	span.End()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		e.tel.Counter("service.jobs_done").Inc()
+	case errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.err = err.Error()
+		e.tel.Counter("service.jobs_cancelled").Inc()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		e.tel.Counter("service.jobs_failed").Inc()
+	}
+	e.tel.Histogram("service.job_ms").Observe(float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6)
+	j.cancel() // release the context's resources
+	close(j.done)
+	e.logf("service: %s finished: %s", j.id, j.state)
+}
+
+// runSafe converts a job panic into a failed job instead of killing the
+// worker goroutine.
+func (e *Engine) runSafe(j *job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panic: %v", r)
+		}
+	}()
+	return e.execFn(j.ctx, j)
+}
+
+// Get returns a job's status.
+func (e *Engine) Get(id string) (Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j.status(), nil
+}
+
+// List returns every job's status in submission order.
+func (e *Engine) List() []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.jobs[id].status())
+	}
+	return out
+}
+
+// Result returns a finished job's result value (nil for failed and
+// cancelled jobs) alongside its status. A job that is still queued or
+// running is ErrNotFinished.
+func (e *Engine) Result(id string) (any, Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.terminal() {
+		return nil, j.status(), fmt.Errorf("%w: %s is %s", ErrNotFinished, id, j.state)
+	}
+	return j.result, j.status(), nil
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately,
+// a running job stops at its next attack checkpoint (within one sweep
+// chunk). Cancelling a finished job is a no-op.
+func (e *Engine) Cancel(id string) (Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = "cancelled while queued"
+		j.finished = time.Now()
+		j.cancel()
+		close(j.done)
+		e.tel.Counter("service.jobs_cancelled").Inc()
+		e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
+		e.logf("service: %s cancelled while queued", id)
+	case StateRunning:
+		j.cancel()
+		e.logf("service: %s cancellation requested", id)
+	}
+	return j.status(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (e *Engine) Wait(ctx context.Context, id string) (Status, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	select {
+	case <-j.done:
+		return e.Get(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// WriteTrace streams a finished job's telemetry (span tree + metrics)
+// as NDJSON.
+func (e *Engine) WriteTrace(w io.Writer, id string) error {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.terminal() {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrNotFinished, id, j.state)
+	}
+	tel := j.tel
+	e.mu.Unlock()
+	return obs.WriteNDJSON(w, tel.Tracer, tel.Metrics)
+}
+
+// CacheStats exposes the victim build cache counters.
+func (e *Engine) CacheStats() (hits, misses, evictions int) {
+	return e.cache.Stats()
+}
+
+// Telemetry returns the engine-level telemetry handle (for /metrics).
+func (e *Engine) Telemetry() *obs.Telemetry { return e.tel }
+
+// ShuttingDown reports whether Shutdown has been initiated.
+func (e *Engine) ShuttingDown() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Shutdown stops accepting jobs and drains the queue: every queued and
+// running job is given until ctx expires to finish. On deadline the
+// remaining jobs' contexts are cancelled, the engine waits for them to
+// stop at their next checkpoint, and Shutdown returns ErrDrainDeadline.
+// Shutdown is idempotent; concurrent calls all wait for the drain.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		e.logf("service: shutdown drained cleanly")
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline: cancel everything still live and wait for the workers to
+	// observe it (attack checkpoints fire within one sweep chunk).
+	e.mu.Lock()
+	for _, j := range e.jobs {
+		if !j.terminal() {
+			j.cancel()
+		}
+	}
+	e.mu.Unlock()
+	<-drained
+	e.logf("service: shutdown cancelled in-flight jobs at deadline")
+	return ErrDrainDeadline
+}

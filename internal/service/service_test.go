@@ -1,0 +1,290 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"snowbma/internal/core"
+)
+
+// newStubEngine builds an engine whose job bodies run fn instead of
+// real attacks, so queue and lifecycle behavior is deterministic.
+func newStubEngine(workers, depth int, fn func(ctx context.Context, j *job) (any, error)) *Engine {
+	e := New(Config{Workers: workers, QueueDepth: depth})
+	e.execFn = fn
+	return e
+}
+
+// instant is a job body that finishes immediately.
+func instant(context.Context, *job) (any, error) { return "ok", nil }
+
+// gate returns a job body that blocks until released (or the job is
+// cancelled), plus the release function.
+func gate() (func(ctx context.Context, j *job) (any, error), func()) {
+	ch := make(chan struct{})
+	fn := func(ctx context.Context, j *job) (any, error) {
+		select {
+		case <-ch:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return fn, func() { close(ch) }
+}
+
+func waitState(t *testing.T, e *Engine, id, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := e.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := e.Get(id)
+	t.Fatalf("job %s stuck in %q, want %q", id, st.State, want)
+	return Status{}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := newStubEngine(1, 1, instant)
+	defer e.Shutdown(context.Background())
+	bad := []JobSpec{
+		{Kind: "exfiltrate"},
+		{Kind: KindFindLUT},
+		{Kind: KindAttack, Lanes: core.DefaultLanes + 1},
+		{Kind: KindAttack, Lanes: -1},
+		{Kind: KindCampaign},
+		{Kind: KindCampaign, Campaign: &CampaignSpec{Runs: 0}},
+		{Kind: KindCampaign, Campaign: &CampaignSpec{Runs: 1, Lanes: -2}},
+		{Kind: KindAttack, TimeoutMS: -1},
+	}
+	for _, spec := range bad {
+		if _, err := e.Submit(spec); !errors.Is(err, ErrSpec) {
+			t.Fatalf("Submit(%+v) = %v, want ErrSpec", spec, err)
+		}
+	}
+	if _, err := e.Submit(JobSpec{Kind: KindAttack, Lanes: core.DefaultLanes + 1}); !errors.Is(err, core.ErrLanes) {
+		t.Fatal("lane validation must route through core.ValidateLanes (ErrLanes)")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	fn, release := gate()
+	e := newStubEngine(1, 1, fn)
+	defer e.Shutdown(context.Background())
+
+	first, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, first.ID, StateRunning)
+	second, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatalf("second submit (queue slot free) = %v", err)
+	}
+	if _, err := e.Submit(JobSpec{Kind: KindAttack}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+	release()
+	waitState(t, e, first.ID, StateDone)
+	waitState(t, e, second.ID, StateDone)
+	// Capacity is back: the next submission is accepted.
+	third, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatalf("submit after drain = %v", err)
+	}
+	waitState(t, e, third.ID, StateDone)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	fn, release := gate()
+	e := newStubEngine(1, 1, fn)
+	defer e.Shutdown(context.Background())
+	running, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, running.ID, StateRunning)
+	queued, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled queued job state %q, want %q immediately", st.State, StateCancelled)
+	}
+	release()
+	waitState(t, e, running.ID, StateDone)
+	// The worker must skip the cancelled job, not resurrect it.
+	if st, _ := e.Get(queued.ID); st.State != StateCancelled {
+		t.Fatalf("queued job resurrected into %q", st.State)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	fn, release := gate()
+	defer release()
+	e := newStubEngine(1, 1, fn)
+	defer e.Shutdown(context.Background())
+	st, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, st.ID, StateRunning)
+	if _, err := e.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, e, st.ID, StateCancelled)
+	if final.Error == "" {
+		t.Fatal("cancelled job carries no error text")
+	}
+	// Cancelling a finished job stays a no-op.
+	again, err := e.Cancel(st.ID)
+	if err != nil || again.State != StateCancelled {
+		t.Fatalf("re-cancel = (%+v, %v)", again, err)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	fn, release := gate()
+	defer release()
+	e := newStubEngine(1, 1, fn)
+	defer e.Shutdown(context.Background())
+	st, err := e.Submit(JobSpec{Kind: KindAttack, TimeoutMS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, st.ID, StateCancelled)
+}
+
+func TestResultLifecycle(t *testing.T) {
+	fn, release := gate()
+	e := newStubEngine(1, 1, fn)
+	defer e.Shutdown(context.Background())
+	st, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Result(st.ID); !errors.Is(err, ErrNotFinished) {
+		t.Fatalf("Result before finish = %v, want ErrNotFinished", err)
+	}
+	if _, _, err := e.Result("job-9999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Result of unknown job = %v, want ErrNotFound", err)
+	}
+	release()
+	waitState(t, e, st.ID, StateDone)
+	v, final, err := e.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "ok" || final.State != StateDone {
+		t.Fatalf("Result = (%v, %+v)", v, final)
+	}
+	if final.DurationMS < 0 {
+		t.Fatal("negative job duration")
+	}
+}
+
+func TestJobPanicBecomesFailure(t *testing.T) {
+	e := newStubEngine(1, 1, func(context.Context, *job) (any, error) {
+		panic("boom")
+	})
+	defer e.Shutdown(context.Background())
+	st, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, e, st.ID, StateFailed)
+	if final.Error == "" {
+		t.Fatal("panicking job recorded no error")
+	}
+	// The worker survived: the engine still executes jobs.
+	st2, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, st2.ID, StateFailed)
+}
+
+func TestShutdownDrains(t *testing.T) {
+	fn, release := gate()
+	e := newStubEngine(2, 4, fn)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, err := e.Submit(JobSpec{Kind: KindAttack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+	for _, id := range ids {
+		if st, _ := e.Get(id); st.State != StateDone {
+			t.Fatalf("job %s ended %q after drain, want done", id, st.State)
+		}
+	}
+	if _, err := e.Submit(JobSpec{Kind: KindAttack}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("Submit after shutdown = %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	fn, release := gate()
+	defer release()
+	e := newStubEngine(1, 2, fn)
+	running, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, running.ID, StateRunning)
+	queued, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := e.Shutdown(ctx); !errors.Is(err, ErrDrainDeadline) {
+		t.Fatalf("Shutdown past deadline = %v, want ErrDrainDeadline", err)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		if st, _ := e.Get(id); st.State != StateCancelled {
+			t.Fatalf("job %s ended %q after forced drain, want cancelled", id, st.State)
+		}
+	}
+}
+
+func TestWait(t *testing.T) {
+	fn, release := gate()
+	e := newStubEngine(1, 1, fn)
+	defer e.Shutdown(context.Background())
+	st, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.Wait(short, st.ID); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait on blocked job = %v, want deadline", err)
+	}
+	release()
+	final, err := e.Wait(context.Background(), st.ID)
+	if err != nil || final.State != StateDone {
+		t.Fatalf("Wait = (%+v, %v)", final, err)
+	}
+}

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"snowbma/internal/snow3g"
+)
+
+var (
+	smokeKey = snow3g.Key{0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48}
+	smokeIVs = []snow3g.IV{
+		{0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F},
+		{0x72A4F20F, 0x48C63BD2, 0x13DBAF0E, 0x9E1F3C7A},
+		{0x01234567, 0x89ABCDEF, 0xFEDCBA98, 0x76543210},
+	}
+)
+
+func postJob(t *testing.T, url string, spec JobSpec) (Status, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(spec); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/jobs", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func pollTerminal(t *testing.T, url, id string, timeout time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCancelled:
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %v", id, timeout)
+	return Status{}
+}
+
+// TestServeSmoke is the end-to-end serving exercise the Makefile's
+// serve-smoke target runs under -race: concurrent attack jobs over
+// HTTP recover correct keys (sharing one cached victim build),
+// queue-full submissions get a typed 429, a running campaign job is
+// cancelled mid-flight, and shutdown drains the rest.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test is minutes-scale under -race")
+	}
+	before := runtime.NumGoroutine()
+	e := New(Config{Workers: 2, QueueDepth: 2})
+	srv := httptest.NewServer(e.Handler())
+
+	// Phase 1: three concurrent attack jobs against the same victim
+	// design (one synthesis, cache-served) with distinct IVs.
+	var ids []string
+	for _, iv := range smokeIVs {
+		st, code := postJob(t, srv.URL, JobSpec{
+			Kind:   KindAttack,
+			Victim: VictimSpec{Key: smokeKey},
+			IV:     iv,
+		})
+		if code == http.StatusTooManyRequests {
+			// Bounded queue with 2 workers: wait for capacity.
+			for code == http.StatusTooManyRequests {
+				time.Sleep(50 * time.Millisecond)
+				st, code = postJob(t, srv.URL, JobSpec{
+					Kind:   KindAttack,
+					Victim: VictimSpec{Key: smokeKey},
+					IV:     iv,
+				})
+			}
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("attack submit = %d", code)
+		}
+		ids = append(ids, st.ID)
+	}
+	for i, id := range ids {
+		final := pollTerminal(t, srv.URL, id, 5*time.Minute)
+		if final.State != StateDone {
+			t.Fatalf("attack job %s ended %s: %s", id, final.State, final.Error)
+		}
+		resp, err := http.Get(srv.URL + "/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Result AttackResult `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !body.Result.Verified || body.Result.Key != smokeKey || body.Result.IV != smokeIVs[i] {
+			t.Fatalf("job %s recovered key %08x iv %08x (verified=%v), want %08x %08x",
+				id, body.Result.Key, body.Result.IV, body.Result.Verified, smokeKey, smokeIVs[i])
+		}
+		if body.Result.Loads == 0 {
+			t.Fatalf("job %s reports zero loads", id)
+		}
+	}
+	if hits, misses, _ := e.CacheStats(); misses != 1 || hits != 2 {
+		t.Fatalf("victim cache hits=%d misses=%d, want 2/1 (one synthesis, two reuses)", hits, misses)
+	}
+
+	// Phase 2: occupy both workers with campaign jobs, fill the queue,
+	// and observe typed backpressure on the overflow submission.
+	campaignSpec := JobSpec{
+		Kind:     KindCampaign,
+		Campaign: &CampaignSpec{Runs: 8, Parallel: 1, Seed: 42},
+	}
+	camp1, code := postJob(t, srv.URL, campaignSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("campaign 1 submit = %d", code)
+	}
+	camp2, code := postJob(t, srv.URL, campaignSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("campaign 2 submit = %d", code)
+	}
+	// Wait for both to be running so queue occupancy is deterministic.
+	for _, id := range []string{camp1.ID, camp2.ID} {
+		deadline := time.Now().Add(time.Minute)
+		for {
+			st, err := e.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == StateRunning {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s never started", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fill1, code := postJob(t, srv.URL, campaignSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("queue fill 1 = %d", code)
+	}
+	fill2, code := postJob(t, srv.URL, campaignSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("queue fill 2 = %d", code)
+	}
+	if _, code := postJob(t, srv.URL, campaignSpec); code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", code)
+	}
+
+	// Phase 3: cancel one running campaign and both queued fills over
+	// HTTP; the running one must stop well before a full campaign run.
+	for _, id := range []string{camp1.ID, fill1.ID, fill2.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("cancel %s = %d", id, resp.StatusCode)
+		}
+	}
+	if st := pollTerminal(t, srv.URL, camp1.ID, time.Minute); st.State != StateCancelled {
+		t.Fatalf("cancelled campaign ended %s: %s", st.State, st.Error)
+	}
+
+	// Phase 4: graceful shutdown drains the surviving campaign.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+	if st, _ := e.Get(camp2.ID); st.State != StateDone {
+		t.Fatalf("campaign 2 ended %s after drain: %s", st.State, st.Error)
+	}
+	srv.Close()
+
+	// No leaked worker or job goroutines (allow slack for the runtime's
+	// own pool and httptest teardown).
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
+}
+
+// TestServiceFindLUTAndCensusJobs covers the two remaining job kinds
+// end to end (engine API, no HTTP round-trip).
+func TestServiceFindLUTAndCensusJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes victims")
+	}
+	e := New(Config{Workers: 2, QueueDepth: 4})
+	defer e.Shutdown(context.Background())
+
+	find, err := e.Submit(JobSpec{
+		Kind:   KindFindLUT,
+		Victim: VictimSpec{Key: smokeKey},
+		Expr:   "(a1^a2^a3)a4a5!a6",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	census, err := e.Submit(JobSpec{
+		Kind:   KindCensus,
+		Victim: VictimSpec{Key: smokeKey},
+		IV:     smokeIVs[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if st, err := e.Wait(ctx, find.ID); err != nil || st.State != StateDone {
+		t.Fatalf("findlut job: %+v %v", st, err)
+	}
+	v, _, err := e.Result(find.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, ok := v.(*FindResult)
+	if !ok {
+		t.Fatalf("findlut result type %T", v)
+	}
+	// The z-path function appears in exactly 32+3 candidate positions on
+	// the unprotected paper design (32 targets + 3 false positives);
+	// at minimum the 32 targets must be there.
+	if len(fr.Matches) < 32 {
+		t.Fatalf("findlut found %d matches, want >= 32", len(fr.Matches))
+	}
+	if fr.Stats.CandidatesCompiled == 0 || fr.Stats.BytesScanned == 0 {
+		t.Fatal("findlut reported empty scan stats")
+	}
+
+	if st, err := e.Wait(ctx, census.ID); err != nil || st.State != StateDone {
+		t.Fatalf("census job: %+v %v", st, err)
+	}
+	cv, _, err := e.Result(census.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, ok := cv.(*AttackResult)
+	if !ok {
+		t.Fatalf("census result type %T", cv)
+	}
+	if !ar.Verified || ar.Key != smokeKey {
+		t.Fatalf("census attack recovered %08x (verified=%v)", ar.Key, ar.Verified)
+	}
+}
+
+// BenchmarkServiceThroughput measures end-to-end jobs/sec through the
+// engine: full attack jobs against a cache-warm victim on a saturated
+// worker pool.
+func BenchmarkServiceThroughput(b *testing.B) {
+	e := New(Config{Workers: runtime.NumCPU(), QueueDepth: 64})
+	defer e.Shutdown(context.Background())
+	spec := JobSpec{Kind: KindAttack, Victim: VictimSpec{Key: smokeKey}, IV: smokeIVs[0]}
+	// Warm the victim cache so the benchmark measures serving, not
+	// one-off synthesis.
+	st, err := e.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st, err = e.Wait(context.Background(), st.ID); err != nil || st.State != StateDone {
+		b.Fatalf("warmup job: %+v %v", st, err)
+	}
+	b.ResetTimer()
+	ids := make([]string, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		for {
+			st, err := e.Submit(spec)
+			if errors.Is(err, ErrQueueFull) {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, st.ID)
+			break
+		}
+	}
+	for _, id := range ids {
+		st, err := e.Wait(context.Background(), id)
+		if err != nil || st.State != StateDone {
+			b.Fatalf("job %s: %+v %v", id, st, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}

@@ -1,0 +1,141 @@
+package victim
+
+import (
+	"sync"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/obs"
+	"snowbma/internal/snow3g"
+)
+
+// DefaultCacheSize is the entry cap a zero-configured Cache uses.
+const DefaultCacheSize = 16
+
+// cacheKey is the comparable identity of a build: the normalized config
+// with the encryption keys flattened out of their pointer.
+type cacheKey struct {
+	key             snow3g.Key
+	protected       bool
+	autoProtectBits int
+	padFrames       int
+	seed            int64
+	encrypted       bool
+	kE              [bitstream.KeySize]byte
+	kA              [bitstream.KeySize]byte
+}
+
+func keyOf(cfg Config) cacheKey {
+	k := cacheKey{
+		key:             cfg.Key,
+		protected:       cfg.Protected,
+		autoProtectBits: cfg.AutoProtectBits,
+		padFrames:       cfg.PadFrames,
+		seed:            cfg.Seed,
+	}
+	if cfg.Encrypt != nil {
+		k.encrypted = true
+		k.kE = cfg.Encrypt.KE
+		k.kA = cfg.Encrypt.KA
+	}
+	return k
+}
+
+// entry is one cached synthesis: the assembled (possibly sealed) image
+// plus metadata. once gates the build so concurrent first requests for
+// the same design synthesize exactly once.
+type entry struct {
+	once    sync.Once
+	img     []byte
+	meta    meta
+	err     error
+	lastUse int64 // tick of the most recent hit, for LRU eviction
+}
+
+// Cache memoizes victim synthesis by Config. Every Build hit programs a
+// fresh device from the cached image, so callers own their victim
+// outright; only the immutable image bytes are shared (FPGA.Program
+// copies them into flash). Safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*entry
+	max     int
+	tick    int64
+	// Tel optionally mirrors hit/miss/eviction counts into a metrics
+	// registry (victim.cache.*). Nil-safe.
+	Tel *obs.Telemetry
+
+	hits, misses, evictions int
+}
+
+// NewCache creates a cache holding at most max synthesized designs
+// (≤ 0 selects DefaultCacheSize). Eviction is least-recently-used.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{entries: make(map[cacheKey]*entry), max: max}
+}
+
+// Stats reports the cache's hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Build returns a freshly programmed victim for cfg, synthesizing the
+// design only if no cache entry exists. Failed builds are cached too
+// (an unbuildable config stays unbuildable), but do not count against
+// the entry cap for long: they are preferred for eviction.
+func (c *Cache) Build(cfg Config) (*Victim, error) {
+	cfg = cfg.normalized()
+	k := keyOf(cfg)
+
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &entry{}
+		c.evictLocked()
+		c.entries[k] = e
+		c.misses++
+		c.Tel.Counter("victim.cache.misses").Inc()
+	} else {
+		c.hits++
+		c.Tel.Counter("victim.cache.hits").Inc()
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.img, e.meta, e.err = synthesize(cfg)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return program(cfg, e.img, e.meta)
+}
+
+// evictLocked makes room for one more entry. Failed builds go first,
+// then the least recently used design. Called with c.mu held.
+func (c *Cache) evictLocked() {
+	if len(c.entries) < c.max {
+		return
+	}
+	var victim cacheKey
+	var oldest int64 = -1
+	for k, e := range c.entries {
+		if e.err != nil {
+			victim, oldest = k, 0
+			break
+		}
+		if oldest < 0 || e.lastUse < oldest {
+			victim, oldest = k, e.lastUse
+		}
+	}
+	if oldest >= 0 {
+		delete(c.entries, victim)
+		c.evictions++
+		c.Tel.Counter("victim.cache.evictions").Inc()
+	}
+}

@@ -1,0 +1,129 @@
+package victim
+
+import (
+	"sync"
+	"testing"
+
+	"snowbma/internal/snow3g"
+)
+
+var testKey = snow3g.Key{0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48}
+
+func TestBuildMatchesCachedBuild(t *testing.T) {
+	cfg := Config{Key: testKey, Seed: 77}
+	direct, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(4)
+	cached, err := c.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(direct.Image) != string(cached.Image) {
+		t.Fatal("cached build produced a different image")
+	}
+	if direct.LUTs != cached.LUTs || direct.Depth != cached.Depth ||
+		direct.CriticalPathNs != cached.CriticalPathNs ||
+		direct.CriticalEndpoint != cached.CriticalEndpoint {
+		t.Fatalf("metadata drift: direct %+v vs cached %+v", direct, cached)
+	}
+}
+
+func TestCacheHitSkipsSynthesisAndIsolatesDevices(t *testing.T) {
+	c := NewCache(4)
+	cfg := Config{Key: testKey, Seed: 9}
+	a, err := c.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if a.Device == b.Device {
+		t.Fatal("cache handed out a shared device")
+	}
+	// Seed 0 must hit the same entry as the explicit default seed.
+	if _, err := c.Build(Config{Key: testKey, Seed: DefaultSeed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build(Config{Key: testKey}); err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2, _ := c.Stats()
+	if misses2 != 2 || hits2 != 2 {
+		t.Fatalf("after seed-normalization pair: hits=%d misses=%d, want 2/2", hits2, misses2)
+	}
+}
+
+func TestCacheConcurrentFirstBuildSynthesizesOnce(t *testing.T) {
+	c := NewCache(4)
+	cfg := Config{Key: testKey, Seed: 5}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Build(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, misses, _ := c.Stats(); misses != 1 {
+		t.Fatalf("concurrent first builds recorded %d misses, want 1 (one synthesis)", misses)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
+	for seed := int64(1); seed <= 2; seed++ {
+		if _, err := c.Build(Config{Key: testKey, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch seed 1 so seed 2 is the LRU entry, then insert a third.
+	if _, err := c.Build(Config{Key: testKey, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build(Config{Key: testKey, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions=%d, want 1", ev)
+	}
+	// Seed 1 must still be cached; seed 2 was evicted.
+	if _, err := c.Build(Config{Key: testKey, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 2/3", hits, misses)
+	}
+}
+
+func TestDeriveKeysDeterministic(t *testing.T) {
+	a, b := DeriveKeys(42), DeriveKeys(42)
+	if a != b {
+		t.Fatal("DeriveKeys not deterministic")
+	}
+	if a == DeriveKeys(43) {
+		t.Fatal("different seeds derived identical keys")
+	}
+	v, err := Build(Config{Key: testKey, Encrypt: &Keys{KE: a.KE, KA: a.KA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Device.SideChannelKey() != a.KE {
+		t.Fatal("encrypted build did not install K_E into the device eFuses")
+	}
+}

@@ -1,0 +1,156 @@
+package snowbma
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// normalizeReport zeroes the report fields that are not part of the
+// semantic attack outcome: wall-clock scan timings and the process-wide
+// candidate-catalogue cache counters (which depend on what earlier
+// tests already compiled).
+func normalizeReport(r *Report) *Report {
+	c := r.Clone()
+	c.Scan.CompileTime = 0
+	c.Scan.ScanTime = 0
+	c.Scan.CatalogueHits = 0
+	c.Scan.CatalogueMisses = 0
+	return c
+}
+
+func buildTestVictim(t *testing.T) *Victim {
+	t.Helper()
+	v, err := BuildVictim(VictimConfig{Key: PaperKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestDeprecatedAttackWrappersEquivalent pins the facade redesign
+// contract: every deprecated fixed-signature entrypoint produces a
+// report identical to its options-based replacement on the same victim
+// design, with and without telemetry attached.
+func TestDeprecatedAttackWrappersEquivalent(t *testing.T) {
+	ctx := context.Background()
+
+	oldRep, err := RunAttackLanes(buildTestVictim(t), PaperIV, nil, MaxLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRep, err := Attack(ctx, buildTestVictim(t), PaperIV, WithLanes(MaxLanes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeReport(oldRep), normalizeReport(newRep)) {
+		t.Fatalf("RunAttackLanes and Attack reports diverge:\nold: %+v\nnew: %+v", oldRep, newRep)
+	}
+	if !newRep.Verified || newRep.Key != PaperKey {
+		t.Fatalf("options attack failed: verified=%v key=%08x", newRep.Verified, newRep.Key)
+	}
+
+	// Traced variant: telemetry must not change the report.
+	oldTel, newTel := NewTelemetry(), NewTelemetry()
+	oldTraced, err := RunAttackTraced(buildTestVictim(t), PaperIV, nil, 8, oldTel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTraced, err := Attack(ctx, buildTestVictim(t), PaperIV, WithLanes(8), WithTelemetry(newTel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeReport(oldTraced), normalizeReport(newTraced)) {
+		t.Fatal("RunAttackTraced and Attack(WithTelemetry) reports diverge")
+	}
+	// Across lane widths only the simulator-side BatchStats may differ;
+	// the modeled hardware cost and the recovered secrets are invariant.
+	if oldRep.Loads != newTraced.Loads || oldRep.Key != newTraced.Key || oldRep.IV != newTraced.IV {
+		t.Fatalf("lane width changed the modeled attack outcome: loads %d vs %d",
+			oldRep.Loads, newTraced.Loads)
+	}
+	if len(newTel.Tracer.Roots()) == 0 {
+		t.Fatal("WithTelemetry recorded no spans")
+	}
+}
+
+func TestDeprecatedCensusWrapperEquivalent(t *testing.T) {
+	oldRep, err := RunCensusAttackLanes(buildTestVictim(t), PaperIV, nil, MaxLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRep, err := CensusAttack(context.Background(), buildTestVictim(t), PaperIV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeReport(oldRep), normalizeReport(newRep)) {
+		t.Fatal("RunCensusAttackLanes and CensusAttack reports diverge")
+	}
+	if !newRep.Verified || newRep.Key != PaperKey {
+		t.Fatalf("census attack failed: verified=%v key=%08x", newRep.Verified, newRep.Key)
+	}
+}
+
+func TestDeprecatedFindFunctionWrapperEquivalent(t *testing.T) {
+	flash := buildTestVictim(t).Device.ReadFlash()
+	const expr = "(a1^a2^a3)a4a5!a6"
+	// Warm the process-wide catalogue cache so both passes see the same
+	// cache state.
+	if _, err := FindFunction(flash, expr); err != nil {
+		t.Fatal(err)
+	}
+	oldHits, oldStats, err := FindFunctionStats(flash, expr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newHits, newStats, err := FindLUTs(context.Background(), flash, expr, WithParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldHits, newHits) {
+		t.Fatalf("match divergence: old %v, new %v", oldHits, newHits)
+	}
+	oldStats.CompileTime, oldStats.ScanTime = 0, 0
+	newStats.CompileTime, newStats.ScanTime = 0, 0
+	if !reflect.DeepEqual(oldStats, newStats) {
+		t.Fatalf("stats divergence:\nold: %+v\nnew: %+v", oldStats, newStats)
+	}
+	// INIT-literal dispatch (ParseAuto) still works through both paths.
+	if _, err := FindFunction(flash, "64'hFFF7F7FF00080800"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttackCancelledViaFacade(t *testing.T) {
+	v := buildTestVictim(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Attack(ctx, v, PaperIV); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Attack with cancelled ctx = %v, want ErrCancelled", err)
+	}
+	if _, err := CensusAttack(ctx, v, PaperIV); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("CensusAttack with cancelled ctx = %v, want ErrCancelled", err)
+	}
+	if _, _, err := FindLUTs(ctx, v.Device.ReadFlash(), "(a1^a2^a3)a4a5!a6"); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("FindLUTs with cancelled ctx = %v, want ErrCancelled", err)
+	}
+	if _, err := RunCampaignContext(ctx, CampaignConfig{Runs: 2, Seed: 1}); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("RunCampaignContext with cancelled ctx = %v, want ErrCancelled", err)
+	}
+}
+
+func TestLaneValidationViaFacade(t *testing.T) {
+	v := buildTestVictim(t)
+	for _, lanes := range []int{0, -1, MaxLanes + 1} {
+		if _, err := Attack(context.Background(), v, PaperIV, WithLanes(lanes)); !errors.Is(err, ErrLanes) {
+			t.Fatalf("Attack(WithLanes(%d)) = %v, want ErrLanes", lanes, err)
+		}
+		if err := ValidateLanes(lanes); !errors.Is(err, ErrLanes) {
+			t.Fatalf("ValidateLanes(%d) = %v, want ErrLanes", lanes, err)
+		}
+	}
+	if err := ValidateLanes(MaxLanes); err != nil {
+		t.Fatalf("ValidateLanes(MaxLanes) = %v", err)
+	}
+}

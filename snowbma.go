@@ -12,8 +12,15 @@
 // This file is the facade a downstream user works with:
 //
 //	victim, _ := snowbma.BuildVictim(snowbma.VictimConfig{Key: key})
-//	report, _ := snowbma.RunAttack(victim, iv, log.Printf)
+//	report, _ := snowbma.Attack(ctx, victim, iv, snowbma.WithLogf(log.Printf))
 //	fmt.Printf("recovered key %08x\n", report.Key)
+//
+// The context-first entrypoints (Attack, CensusAttack, FindLUTs,
+// RunCampaignContext) take functional options (WithLanes,
+// WithTelemetry, WithLogf, WithParallel) and honor cancellation at the
+// attack's phase and sweep-chunk checkpoints. The older fixed-signature
+// functions (RunAttack, RunAttackLanes, RunAttackTraced, ...) remain as
+// deprecated wrappers over them.
 //
 // The sub-packages under internal/ carry the implementation; their doc
 // comments map each module to the paper sections it reproduces (see
@@ -21,19 +28,18 @@
 package snowbma
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"strings"
 
-	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
 	"snowbma/internal/campaign"
 	"snowbma/internal/core"
 	"snowbma/internal/device"
 	"snowbma/internal/hdl"
-	"snowbma/internal/mapper"
 	"snowbma/internal/obs"
 	"snowbma/internal/snow3g"
+	"snowbma/internal/victim"
 )
 
 // Key is a 128-bit SNOW 3G key as four 32-bit words k0..k3 (the paper's
@@ -114,58 +120,30 @@ type Victim struct {
 
 // BuildVictim synthesizes the SNOW 3G design (RTL generation, technology
 // mapping, placement, bitstream assembly) and programs a simulated FPGA
-// with it.
+// with it, through the shared internal/victim pipeline (the same one the
+// campaign engine and the job service use).
 func BuildVictim(cfg VictimConfig) (*Victim, error) {
-	if cfg.Seed == 0 {
-		cfg.Seed = 0x5B0A
+	vcfg := victim.Config{
+		Key:             cfg.Key,
+		Protected:       cfg.Protected,
+		AutoProtectBits: cfg.AutoProtectBits,
+		PadFrames:       cfg.PadFrames,
+		Seed:            cfg.Seed,
 	}
-	d := hdl.Build(hdl.Config{Key: cfg.Key, Protected: cfg.Protected})
-	opts := mapper.Options{K: 6, Boundaries: d.Boundaries}
-	pol := mapper.PackPolicy{}
-	if cfg.Protected {
-		opts.TrivialCuts = d.TrivialCuts
-		pol = mapper.PackPolicy{Prefer: d.TrivialCuts, PairWithOthers: true}
-	}
-	if cfg.AutoProtectBits > 0 {
-		plan, err := mapper.PlanCountermeasure(d.N, d.V, cfg.AutoProtectBits)
-		if err != nil {
-			return nil, fmt.Errorf("snowbma: countermeasure planning: %w", err)
-		}
-		opts.TrivialCuts = plan.TrivialCuts
-		pol = mapper.PackPolicy{Prefer: plan.TrivialCuts, PairWithOthers: true}
-	}
-	r, err := mapper.Map(d.N, opts)
-	if err != nil {
-		return nil, fmt.Errorf("snowbma: mapping: %w", err)
-	}
-	phys := mapper.Pack(r, pol)
-	img, err := bitstream.Assemble(d.N, phys, bitstream.AssembleOptions{
-		Seed: cfg.Seed, PadFrames: cfg.PadFrames,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("snowbma: assembly: %w", err)
-	}
-	var kE [bitstream.KeySize]byte
 	if cfg.Encrypt != nil {
-		kE = cfg.Encrypt.KE
-		var cbcIV [16]byte
-		img, err = bitstream.Seal(img, cfg.Encrypt.KE, cfg.Encrypt.KA, cbcIV)
-		if err != nil {
-			return nil, fmt.Errorf("snowbma: sealing: %w", err)
-		}
+		vcfg.Encrypt = &victim.Keys{KE: cfg.Encrypt.KE, KA: cfg.Encrypt.KA}
 	}
-	fpga := device.New(kE)
-	if err := fpga.Program(img); err != nil {
-		return nil, fmt.Errorf("snowbma: programming: %w", err)
+	v, err := victim.Build(vcfg)
+	if err != nil {
+		return nil, fmt.Errorf("snowbma: %w", err)
 	}
-	timing := r.Timing(mapper.DefaultDelays())
 	return &Victim{
-		Device:           fpga,
-		Image:            img,
-		LUTs:             len(r.LUTs),
-		Depth:            r.Depth,
-		CriticalPathNs:   timing.Delay,
-		CriticalEndpoint: timing.Endpoint,
+		Device:           v.Device,
+		Image:            v.Image,
+		LUTs:             v.LUTs,
+		Depth:            v.Depth,
+		CriticalPathNs:   v.CriticalPathNs,
+		CriticalEndpoint: v.CriticalEndpoint,
 	}, nil
 }
 
@@ -186,23 +164,102 @@ type BatchStats = core.BatchStats
 // many virtual devices one simulator pass evaluates at most.
 const MaxLanes = device.MaxLanes
 
-// RunAttack executes the complete bitstream modification attack against
+// ErrLanes is returned (wrapped) for out-of-range candidate-sweep
+// widths — by WithLanes-carrying entrypoints, the CLI and the campaign
+// and service configs, all through the same validator.
+var ErrLanes = core.ErrLanes
+
+// ErrCancelled is returned (wrapped) when a context-first entrypoint is
+// cancelled: the attack stops at its next checkpoint (between phases
+// and candidate-sweep chunks), restores the victim's original
+// bitstream, and reports no key.
+var ErrCancelled = core.ErrCancelled
+
+// ValidateLanes reports whether n is a legal candidate-sweep width
+// (1..MaxLanes), wrapping ErrLanes when it is not.
+func ValidateLanes(n int) error { return core.ValidateLanes(n) }
+
+// Option configures a context-first entrypoint (Attack, CensusAttack,
+// FindLUTs).
+type Option func(*options)
+
+type options struct {
+	lanes    int
+	tel      *Telemetry
+	logf     func(string, ...any)
+	parallel int
+}
+
+func buildOptions(opts []Option) options {
+	o := options{lanes: MaxLanes}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithLanes sets the candidate-sweep width: how many modified bitstream
+// variants one bitsliced simulator pass evaluates (1..MaxLanes; 1
+// forces the scalar path). The width changes only wall-clock time —
+// Report.Loads and HardwareEstimate model per-candidate hardware
+// reconfigurations and are invariant under it. Out-of-range widths fail
+// the entrypoint with an error wrapping ErrLanes.
+func WithLanes(n int) Option { return func(o *options) { o.lanes = n } }
+
+// WithTelemetry attaches an observability handle: every attack phase,
+// scanner pass, sweep chunk and device event is recorded into tel's
+// tracer and metrics registry.
+func WithTelemetry(tel *Telemetry) Option { return func(o *options) { o.tel = tel } }
+
+// WithLogf attaches a printf-style progress logger.
+func WithLogf(logf func(string, ...any)) Option { return func(o *options) { o.logf = logf } }
+
+// WithParallel bounds the FindLUTs scan worker pool (0 = all CPUs).
+// Attack entrypoints ignore it.
+func WithParallel(n int) Option { return func(o *options) { o.parallel = n } }
+
+// Attack executes the complete bitstream modification attack against
 // the victim: probe flash (decrypting via the side-channel oracle when
 // needed), disable the CRC, FINDLUT + verification for the z_t and
 // feedback paths, the key-independent exploration, fault injection and
-// LFSR rewind. logf may be nil. Candidate sweeps run at the full
-// MaxLanes width; use RunAttackLanes to control it.
-func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
-	return RunAttackLanes(v, iv, logf, MaxLanes)
+// LFSR rewind. Cancelling ctx stops the attack at its next checkpoint
+// — between phases and between candidate-sweep chunks — with an error
+// wrapping ErrCancelled, after restoring the original bitstream.
+func Attack(ctx context.Context, v *Victim, iv IV, opts ...Option) (*Report, error) {
+	o := buildOptions(opts)
+	atk, err := newAttack(ctx, v, iv, o)
+	if err != nil {
+		return nil, err
+	}
+	return atk.Run()
 }
 
-// RunAttackLanes is RunAttack with an explicit candidate-sweep width:
-// how many modified bitstream variants one bitsliced simulator pass
-// evaluates (1..MaxLanes; 1 forces the scalar path). The width changes
-// only wall-clock time — Report.Loads and HardwareEstimate model
-// per-candidate hardware reconfigurations and are invariant under it.
+// newAttack assembles a configured core attack from facade options.
+func newAttack(ctx context.Context, v *Victim, iv IV, o options) (*core.Attack, error) {
+	atk, err := core.NewAttack(v.Device, iv, o.logf)
+	if err != nil {
+		return nil, err
+	}
+	if err := atk.SetLanes(o.lanes); err != nil {
+		return nil, err
+	}
+	atk.SetTelemetry(o.tel)
+	atk.SetContext(ctx)
+	return atk, nil
+}
+
+// RunAttack executes the attack at the full sweep width.
+//
+// Deprecated: use Attack with WithLogf.
+func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
+	return Attack(context.Background(), v, iv, WithLogf(logf))
+}
+
+// RunAttackLanes is RunAttack with an explicit candidate-sweep width.
+//
+// Deprecated: use Attack with WithLanes.
 func RunAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
-	return RunAttackTraced(v, iv, logf, lanes, nil)
+	return Attack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes))
 }
 
 // Telemetry is the unified observability handle of an attack run: a
@@ -226,48 +283,50 @@ func WriteTrace(w io.Writer, tel *Telemetry) error {
 	return obs.WriteNDJSON(w, tel.Tracer, tel.Metrics)
 }
 
-// RunAttackTraced is RunAttackLanes with a telemetry handle attached:
-// every attack phase, scanner pass, sweep chunk and device event is
-// recorded into tel's tracer and metrics registry. tel may be nil
-// (equivalent to RunAttackLanes).
+// RunAttackTraced is RunAttackLanes with a telemetry handle attached.
+//
+// Deprecated: use Attack with WithLanes and WithTelemetry.
 func RunAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
-	atk, err := core.NewAttack(v.Device, iv, logf)
+	return Attack(context.Background(), v, iv,
+		WithLogf(logf), WithLanes(lanes), WithTelemetry(tel))
+}
+
+// CensusAttack executes the catalogue-free variant: target LUT classes
+// are discovered from the extracted-LUT census by their XOR structure
+// and all fault tables are derived from the class functions — no
+// Table II guessing. See core.RunCensusGuided. Cancellation behaves as
+// in Attack.
+func CensusAttack(ctx context.Context, v *Victim, iv IV, opts ...Option) (*Report, error) {
+	o := buildOptions(opts)
+	atk, err := newAttack(ctx, v, iv, o)
 	if err != nil {
 		return nil, err
 	}
-	if err := atk.SetLanes(lanes); err != nil {
-		return nil, err
-	}
-	atk.SetTelemetry(tel)
-	return atk.Run()
+	return atk.RunCensusGuided()
 }
 
-// RunCensusAttack executes the catalogue-free variant: target LUT
-// classes are discovered from the extracted-LUT census by their XOR
-// structure and all fault tables are derived from the class functions —
-// no Table II guessing. See core.RunCensusGuided.
+// RunCensusAttack executes the census attack at the full sweep width.
+//
+// Deprecated: use CensusAttack with WithLogf.
 func RunCensusAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
-	return RunCensusAttackLanes(v, iv, logf, MaxLanes)
+	return CensusAttack(context.Background(), v, iv, WithLogf(logf))
 }
 
 // RunCensusAttackLanes is RunCensusAttack with an explicit
-// candidate-sweep width (see RunAttackLanes).
+// candidate-sweep width.
+//
+// Deprecated: use CensusAttack with WithLanes.
 func RunCensusAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
-	return RunCensusAttackTraced(v, iv, logf, lanes, nil)
+	return CensusAttack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes))
 }
 
 // RunCensusAttackTraced is RunCensusAttackLanes with a telemetry handle
-// attached (see RunAttackTraced). tel may be nil.
+// attached.
+//
+// Deprecated: use CensusAttack with WithLanes and WithTelemetry.
 func RunCensusAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
-	atk, err := core.NewAttack(v.Device, iv, logf)
-	if err != nil {
-		return nil, err
-	}
-	if err := atk.SetLanes(lanes); err != nil {
-		return nil, err
-	}
-	atk.SetTelemetry(tel)
-	return atk.RunCensusGuided()
+	return CensusAttack(context.Background(), v, iv,
+		WithLogf(logf), WithLanes(lanes), WithTelemetry(tel))
 }
 
 // CampaignConfig parameterizes a randomized attack campaign: how many
@@ -290,6 +349,14 @@ type CampaignReport = campaign.Report
 // typed verdicts (key recovered / clean failure / invariant violation).
 func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 	return campaign.Run(cfg)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: when ctx is
+// cancelled, no new scenarios start, in-flight attacks stop at their
+// next checkpoint, and the call returns an error wrapping ErrCancelled
+// instead of a partial report.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
+	return campaign.RunContext(ctx, cfg)
 }
 
 // CandidateCount is one row of the Table II / Table VI measurement.
@@ -318,38 +385,24 @@ func CountCandidatesStats(v *Victim, iv IV) ([]CandidateCount, ScanStats, error)
 	return rows, atk.Report().Scan, nil
 }
 
-// FindFunction searches a raw bitstream for LUTs implementing the
-// Boolean expression (paper notation over a1..a6, e.g.
-// "(a1^a2^a3)a4a5!a6") or a raw INIT literal ("64'hFFF7F7FF00080800"),
-// and returns the byte indexes of all candidates — the tool described in
-// the paper's contribution list.
-func FindFunction(bits []byte, expr string) ([]int, error) {
-	out, _, err := FindFunctionStats(bits, expr, 0)
-	return out, err
-}
-
-// FindFunctionStats is FindFunction with an explicit worker count
-// (0 = all CPUs) and the scan-engine counters of the pass.
-func FindFunctionStats(bits []byte, expr string, parallel int) ([]int, ScanStats, error) {
-	return FindFunctionTraced(bits, expr, parallel, nil)
-}
-
-// FindFunctionTraced is FindFunctionStats with a telemetry handle
-// attached to the scan engine (scan.pass/compile/walk spans). tel may be
-// nil.
-func FindFunctionTraced(bits []byte, expr string, parallel int, tel *Telemetry) ([]int, ScanStats, error) {
-	var f boolfn.TT
-	var err error
-	if strings.HasPrefix(expr, "64'h") || strings.HasPrefix(expr, "0x") {
-		f, err = boolfn.ParseInit(expr)
-	} else {
-		f, err = boolfn.Parse(expr)
-	}
+// FindLUTs searches a raw bitstream for LUTs implementing the Boolean
+// expression (paper notation over a1..a6, e.g. "(a1^a2^a3)a4a5!a6") or
+// a raw INIT literal ("64'hFFF7F7FF00080800"), and returns the byte
+// indexes of all candidates plus the scan-engine counters — the FINDLUT
+// tool described in the paper's contribution list. The scan is one
+// bounded bitstream pass; cancellation is honored at the pass boundary
+// with an error wrapping ErrCancelled.
+func FindLUTs(ctx context.Context, bits []byte, expr string, opts ...Option) ([]int, ScanStats, error) {
+	o := buildOptions(opts)
+	f, err := boolfn.ParseAuto(expr)
 	if err != nil {
 		return nil, ScanStats{}, err
 	}
-	s := core.NewScanner(core.FindOptions{Parallel: parallel})
-	s.SetTelemetry(tel)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, ScanStats{}, fmt.Errorf("%w: %v", ErrCancelled, cerr)
+	}
+	s := core.NewScanner(core.FindOptions{Parallel: o.parallel})
+	s.SetTelemetry(o.tel)
 	s.AddFunction("f", f)
 	res := s.Scan(bits)
 	matches := res.Matches["f"]
@@ -358,6 +411,31 @@ func FindFunctionTraced(bits []byte, expr string, parallel int, tel *Telemetry) 
 		out[i] = m.Index
 	}
 	return out, res.Stats, nil
+}
+
+// FindFunction searches a raw bitstream for LUTs implementing expr.
+//
+// Deprecated: use FindLUTs.
+func FindFunction(bits []byte, expr string) ([]int, error) {
+	out, _, err := FindLUTs(context.Background(), bits, expr)
+	return out, err
+}
+
+// FindFunctionStats is FindFunction with an explicit worker count
+// (0 = all CPUs) and the scan-engine counters of the pass.
+//
+// Deprecated: use FindLUTs with WithParallel.
+func FindFunctionStats(bits []byte, expr string, parallel int) ([]int, ScanStats, error) {
+	return FindLUTs(context.Background(), bits, expr, WithParallel(parallel))
+}
+
+// FindFunctionTraced is FindFunctionStats with a telemetry handle
+// attached to the scan engine (scan.pass/compile/walk spans). tel may be
+// nil.
+//
+// Deprecated: use FindLUTs with WithParallel and WithTelemetry.
+func FindFunctionTraced(bits []byte, expr string, parallel int, tel *Telemetry) ([]int, ScanStats, error) {
+	return FindLUTs(context.Background(), bits, expr, WithParallel(parallel), WithTelemetry(tel))
 }
 
 // DualXORHits runs the Section VII-B search over [lo, hi) byte positions
