@@ -12,8 +12,10 @@ import (
 // can be scraped without a client library. Metric names translate by
 // replacing every '.' with '_' ("attack.loads" → "attack_loads");
 // counters gain a _total suffix, histograms export their count/sum
-// aggregate as _count and _sum plus _min and _max gauges (the Registry
-// histogram is deliberately bucket-free).
+// aggregate as a summary plus separate <name>_min and <name>_max gauge
+// families (the Registry histogram is deliberately bucket-free, and a
+// summary family may only carry _count/_sum samples, so min/max get
+// their own families).
 //
 // Registries are written in argument order; when the same metric name
 // appears in several registries the values are summed first, so the
@@ -36,7 +38,10 @@ func WriteMetricsText(w io.Writer, regs ...*Registry) error {
 				order = append(order, key)
 			}
 			a.value += m.Value
-			if m.Kind == "hist" {
+			// Snapshots with no observations carry zero Min/Max that
+			// mean "unset", not "observed 0" — merging them would
+			// clobber a populated accumulator's extremes.
+			if m.Kind == "hist" && m.Hist.Count > 0 {
 				if a.hist.Count == 0 || m.Hist.Min < a.hist.Min {
 					a.hist.Min = m.Hist.Min
 				}
@@ -60,8 +65,10 @@ func WriteMetricsText(w io.Writer, regs ...*Registry) error {
 			_, err = fmt.Fprintf(bw, "# TYPE %s gauge\n%s %g\n", name, name, a.value)
 		case "hist":
 			_, err = fmt.Fprintf(bw,
-				"# TYPE %s summary\n%s_count %d\n%s_sum %g\n%s_min %g\n%s_max %g\n",
-				name, name, a.hist.Count, name, a.hist.Sum, name, a.hist.Min, name, a.hist.Max)
+				"# TYPE %s summary\n%s_count %d\n%s_sum %g\n"+
+					"# TYPE %s_min gauge\n%s_min %g\n# TYPE %s_max gauge\n%s_max %g\n",
+				name, name, a.hist.Count, name, a.hist.Sum,
+				name, name, a.hist.Min, name, name, a.hist.Max)
 		}
 		if err != nil {
 			return err

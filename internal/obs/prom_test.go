@@ -54,3 +54,28 @@ func TestWriteMetricsTextMergesRegistries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A registered-but-never-observed histogram merged after a populated
+// one must not clobber the accumulated Min/Max with its zero values,
+// and min/max render as their own gauge families (a summary family may
+// only carry _count/_sum samples).
+func TestWriteMetricsTextEmptyHistogramMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("ms").Observe(10)
+	a.Histogram("ms").Observe(4)
+	b.Histogram("ms") // registered, no observations
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ms_count 2\n", "ms_sum 14\n",
+		"# TYPE ms_min gauge\nms_min 4\n",
+		"# TYPE ms_max gauge\nms_max 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -100,7 +100,8 @@ type JobSpec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// Campaign parameterizes a campaign job.
 	Campaign *CampaignSpec `json:"campaign,omitempty"`
-	// TimeoutMS bounds the job's execution once it starts running.
+	// TimeoutMS bounds the job's execution once it starts running;
+	// time spent queued does not consume the budget.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 

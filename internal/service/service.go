@@ -44,6 +44,11 @@ var (
 	ErrDrainDeadline = errors.New("service: shutdown deadline exceeded, in-flight jobs cancelled")
 )
 
+// DefaultRetainJobs is the finished-job retention cap a
+// zero-configured Engine uses; without it a long-running server would
+// accumulate every result and trace ever produced.
+const DefaultRetainJobs = 256
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Workers bounds the number of concurrently running jobs
@@ -52,6 +57,12 @@ type Config struct {
 	// QueueDepth bounds the number of queued-but-not-running jobs
 	// (0 = 16). Submissions beyond it fail with ErrQueueFull.
 	QueueDepth int
+	// RetainJobs bounds how many finished jobs (results, errors,
+	// telemetry traces) stay queryable (0 = DefaultRetainJobs). When a
+	// job reaches a terminal state and the cap is exceeded, the
+	// oldest-finished jobs are pruned; their status/result/trace
+	// lookups then return ErrNotFound.
+	RetainJobs int
 	// CacheSize bounds the victim build cache (0 = victim.DefaultCacheSize).
 	CacheSize int
 	// Tel receives engine-level metrics and spans (nil = fresh handle).
@@ -70,11 +81,12 @@ type Engine struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	seq    int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	finished []string // terminal job ids, oldest first, for pruning
+	seq      int
+	closed   bool
 
 	// execFn runs one job body; tests substitute it to make queue and
 	// lifecycle behavior deterministic without synthesizing victims.
@@ -92,6 +104,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = victim.DefaultCacheSize
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = DefaultRetainJobs
 	}
 	tel := cfg.Tel
 	if tel == nil {
@@ -134,13 +149,10 @@ func (e *Engine) Submit(spec JobSpec) (Status, error) {
 		return Status{}, ErrShuttingDown
 	}
 	e.seq++
-	ctx := context.Background()
-	var cancel context.CancelFunc
-	if spec.TimeoutMS > 0 {
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMS)*time.Millisecond)
-	} else {
-		ctx, cancel = context.WithCancel(ctx)
-	}
+	// The queued phase gets a plain cancel context; TimeoutMS is armed
+	// in run() when the job starts, so queue wait never consumes the
+	// job's execution budget.
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:        fmt.Sprintf("job-%04d", e.seq),
 		spec:      spec,
@@ -196,6 +208,17 @@ func (e *Engine) run(j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	if j.spec.TimeoutMS > 0 {
+		// Arm the execution timeout now that the job is actually
+		// running (JobSpec.TimeoutMS excludes queue wait). Chain the
+		// derived CancelFunc so the terminal j.cancel() releases the
+		// timer too; Cancel/Shutdown cancelling the base context still
+		// propagates to the derived one.
+		var cancelTimeout context.CancelFunc
+		j.ctx, cancelTimeout = context.WithTimeout(j.ctx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
+		base := j.cancel
+		j.cancel = func() { cancelTimeout(); base() }
+	}
 	e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
 	e.mu.Unlock()
 
@@ -224,7 +247,28 @@ func (e *Engine) run(j *job) {
 	e.tel.Histogram("service.job_ms").Observe(float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6)
 	j.cancel() // release the context's resources
 	close(j.done)
+	e.markFinishedLocked(j)
 	e.logf("service: %s finished: %s", j.id, j.state)
+}
+
+// markFinishedLocked records a terminal job for retention accounting
+// and prunes the oldest-finished jobs past the RetainJobs cap, so a
+// long-running server does not accumulate results and traces without
+// bound. Called with the engine mutex held.
+func (e *Engine) markFinishedLocked(j *job) {
+	e.finished = append(e.finished, j.id)
+	for len(e.finished) > e.cfg.RetainJobs {
+		id := e.finished[0]
+		e.finished = e.finished[1:]
+		delete(e.jobs, id)
+		for i, o := range e.order {
+			if o == id {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+		e.tel.Counter("service.jobs_pruned").Inc()
+	}
 }
 
 // runSafe converts a job panic into a failed job instead of killing the
@@ -293,6 +337,7 @@ func (e *Engine) Cancel(id string) (Status, error) {
 		j.finished = time.Now()
 		j.cancel()
 		close(j.done)
+		e.markFinishedLocked(j)
 		e.tel.Counter("service.jobs_cancelled").Inc()
 		e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
 		e.logf("service: %s cancelled while queued", id)

@@ -168,6 +168,70 @@ func TestJobTimeout(t *testing.T) {
 	waitState(t, e, st.ID, StateCancelled)
 }
 
+// TimeoutMS bounds execution only: a job may wait in the queue longer
+// than its timeout and still run to completion once a worker frees up.
+func TestTimeoutExcludesQueueWait(t *testing.T) {
+	gateCh := make(chan struct{})
+	e := newStubEngine(1, 1, func(ctx context.Context, j *job) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err // started with an already-expired budget
+		}
+		select {
+		case <-gateCh:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	defer e.Shutdown(context.Background())
+	blocker, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, blocker.ID, StateRunning)
+	short, err := e.Submit(JobSpec{Kind: KindAttack, TimeoutMS: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the job queued well past its nominal timeout, then let the
+	// worker go: the budget arms at StateRunning, so it finishes Done.
+	time.Sleep(80 * time.Millisecond)
+	close(gateCh)
+	waitState(t, e, blocker.ID, StateDone)
+	waitState(t, e, short.ID, StateDone)
+}
+
+func TestTerminalJobsPruned(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8, RetainJobs: 3})
+	e.execFn = instant
+	defer e.Shutdown(context.Background())
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, err := e.Submit(JobSpec{Kind: KindAttack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, e, st.ID, StateDone)
+		ids = append(ids, st.ID)
+	}
+	// The two oldest finished jobs fell out of the retention window...
+	for _, id := range ids[:2] {
+		if _, err := e.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("pruned job %s still queryable (err=%v)", id, err)
+		}
+	}
+	// ...and the newest three remain listable in submission order.
+	list := e.List()
+	if len(list) != 3 {
+		t.Fatalf("List kept %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[2+i] {
+			t.Fatalf("List[%d] = %s, want %s", i, st.ID, ids[2+i])
+		}
+	}
+}
+
 func TestResultLifecycle(t *testing.T) {
 	fn, release := gate()
 	e := newStubEngine(1, 1, fn)

@@ -42,12 +42,16 @@ func keyOf(cfg Config) cacheKey {
 
 // entry is one cached synthesis: the assembled (possibly sealed) image
 // plus metadata. once gates the build so concurrent first requests for
-// the same design synthesize exactly once.
+// the same design synthesize exactly once. img/meta/err are written
+// inside once.Do and safe to read only after it returns; failed is the
+// mutex-guarded mirror of err != nil that eviction reads (evictLocked
+// runs under c.mu with no happens-before edge to the build goroutine).
 type entry struct {
 	once    sync.Once
 	img     []byte
 	meta    meta
 	err     error
+	failed  bool  // guarded by Cache.mu
 	lastUse int64 // tick of the most recent hit, for LRU eviction
 }
 
@@ -111,6 +115,9 @@ func (c *Cache) Build(cfg Config) (*Victim, error) {
 		e.img, e.meta, e.err = synthesize(cfg)
 	})
 	if e.err != nil {
+		c.mu.Lock()
+		e.failed = true
+		c.mu.Unlock()
 		return nil, e.err
 	}
 	return program(cfg, e.img, e.meta)
@@ -125,7 +132,7 @@ func (c *Cache) evictLocked() {
 	var victim cacheKey
 	var oldest int64 = -1
 	for k, e := range c.entries {
-		if e.err != nil {
+		if e.failed {
 			victim, oldest = k, 0
 			break
 		}

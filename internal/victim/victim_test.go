@@ -111,6 +111,60 @@ func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	}
 }
 
+func TestCacheFailedBuildsCachedAndEvictedFirst(t *testing.T) {
+	c := NewCache(2)
+	// An unsatisfiable countermeasure budget fails synthesis.
+	bad := Config{Key: testKey, AutoProtectBits: 1 << 20, Seed: 40}
+	if _, err := c.Build(bad); err == nil {
+		t.Fatal("build with an unsatisfiable countermeasure must fail")
+	}
+	if _, err := c.Build(bad); err == nil {
+		t.Fatal("cached failure must keep failing")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1 (failure memoized)", hits, misses)
+	}
+	// Filling the cache evicts the failed entry before any good one.
+	for seed := int64(41); seed <= 42; seed++ {
+		if _, err := c.Build(Config{Key: testKey, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions=%d, want 1 (the failed entry)", ev)
+	}
+	for seed := int64(41); seed <= 42; seed++ {
+		if _, err := c.Build(Config{Key: testKey, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _, _ := c.Stats(); hits != 3 {
+		t.Fatalf("hits=%d, want 3 (both good entries survived the eviction)", hits)
+	}
+}
+
+// Failed builds publish their status while concurrent evictions read
+// it; this only proves anything under -race (the seed's eviction
+// heuristic read the once-written err field with no happens-before
+// edge).
+func TestCacheConcurrentFailuresAndEvictions(t *testing.T) {
+	c := NewCache(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				seed := int64(60 + (g+i)%3)
+				_, _ = c.Build(Config{Key: testKey, Seed: seed})
+				_, _ = c.Build(Config{Key: testKey, Seed: seed, AutoProtectBits: 1 << 20})
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 func TestDeriveKeysDeterministic(t *testing.T) {
 	a, b := DeriveKeys(42), DeriveKeys(42)
 	if a != b {
