@@ -315,6 +315,7 @@ func cmdAttack(args []string) error {
 			if *stats {
 				fmt.Print(report.ScanStats(rep.Scan))
 				fmt.Print(report.BatchStats(rep.Batch))
+				fmt.Print(report.FabricStats(rep.Fabric))
 				fmt.Print(report.Trace(tel))
 			}
 		}

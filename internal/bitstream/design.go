@@ -293,6 +293,58 @@ type Regions struct {
 
 const fdriMagic = 0x53424649 // "SBFI"
 
+// FrameRegion names the FDRI sub-region a frame index falls in. It is
+// the first step of mapping a frame patch onto the device structures
+// (and compiled-program instructions) the patch can affect: CLB frames
+// carry LUT truth tables, BRAM frames carry block-RAM content, and the
+// header/description frames define the shared structure itself.
+type FrameRegion uint8
+
+const (
+	// FrameHeader is the single FDRI header frame (frame 0).
+	FrameHeader FrameRegion = iota
+	// FrameCLB is a CLB frame holding LUT truth-table bits.
+	FrameCLB
+	// FrameDesc is a design-description frame.
+	FrameDesc
+	// FrameBRAM is a BRAM content frame.
+	FrameBRAM
+)
+
+// String names the region for error messages.
+func (k FrameRegion) String() string {
+	switch k {
+	case FrameHeader:
+		return "header"
+	case FrameCLB:
+		return "CLB"
+	case FrameDesc:
+		return "description"
+	case FrameBRAM:
+		return "BRAM"
+	}
+	return "unknown"
+}
+
+// ClassifyFrame maps an absolute frame index onto its region and the
+// frame index relative to that region's first frame. Out-of-range
+// indices return an error.
+func (r *Regions) ClassifyFrame(frame int) (FrameRegion, int, error) {
+	total := r.TotalLen / FrameBytes
+	switch {
+	case frame < 0 || frame >= total:
+		return 0, 0, fmt.Errorf("bitstream: frame %d out of range [0,%d)", frame, total)
+	case frame == 0:
+		return FrameHeader, 0, nil
+	case frame < r.DescOff/FrameBytes:
+		return FrameCLB, frame - 1, nil
+	case frame < r.BRAMOff/FrameBytes:
+		return FrameDesc, frame - r.DescOff/FrameBytes, nil
+	default:
+		return FrameBRAM, frame - r.BRAMOff/FrameBytes, nil
+	}
+}
+
 // WriteFDRIHeader fills a header frame; exported for configuration
 // readback, which regenerates the frame region from device state.
 func WriteFDRIHeader(frame []byte, clbFrames, descFrames, bramFrames, descLen int) {

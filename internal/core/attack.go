@@ -8,6 +8,7 @@ import (
 
 	"snowbma/internal/bitstream"
 	"snowbma/internal/boolfn"
+	"snowbma/internal/device"
 	"snowbma/internal/hdl"
 	"snowbma/internal/obs"
 	"snowbma/internal/snow3g"
@@ -75,6 +76,10 @@ type Report struct {
 	// models hardware reconfigurations and is invariant under the sweep
 	// width; Batch.Passes counts what the simulator actually ran.
 	Batch BatchStats
+	// Fabric is the compiled flat-program summary of the victim's
+	// loaded configuration (zero when the victim's simulator does not
+	// expose one).
+	Fabric device.CompileStats
 }
 
 // HardwareEstimate extrapolates the attack's wall-clock cost on real

@@ -110,9 +110,10 @@ type dualTarget struct {
 
 // Scanner is a batch FINDLUT engine: any number of target functions and
 // dual-XOR windows, one bitstream pass. A Scanner is built once per
-// query set and is not safe for concurrent mutation; Scan itself may be
-// called repeatedly (e.g. over different bitstreams) and runs its worker
-// pool internally.
+// query set and is not safe for concurrent use (Scan lazily compiles
+// and caches the anchor index on the scanner); Scan may be called
+// repeatedly (e.g. over different bitstreams) and runs its worker pool
+// internally.
 type Scanner struct {
 	opt   FindOptions
 	fns   []fnTarget
@@ -121,6 +122,18 @@ type Scanner struct {
 	// tel optionally traces the compile and walk phases of every Scan
 	// (SetTelemetry; nil-safe, zero overhead when unset).
 	tel *obs.Telemetry
+
+	// Compiled anchor index, built by the first Scan and reused across
+	// calls until AddFunction invalidates it. The multi-bitstream
+	// serving scenario scans one query set over many images; rebuilding
+	// the 64K-way index per image is pure waste there (it was also half
+	// of the BENCH_PR2 batch-vs-sequential throughput inversion — the
+	// old harness paid compilation inside the timed loop).
+	dirty      bool
+	catalogues [][]candidate
+	byAnchor   [][]scanRef
+	maxAnchor  int
+	compiled   int // candidates held by the index
 }
 
 // NewScanner creates an empty batch scanner with the given search
@@ -141,6 +154,7 @@ func (s *Scanner) SetTelemetry(tel *obs.Telemetry) *Scanner {
 // AddFunction registers f under key. Re-adding an existing key replaces
 // its function. Returns the scanner for chaining.
 func (s *Scanner) AddFunction(key string, f boolfn.TT) *Scanner {
+	s.dirty = true
 	if i, ok := s.byKey[key]; ok {
 		s.fns[i].fn = f
 		return s
@@ -206,33 +220,18 @@ func (s *Scanner) Scan(b []byte) *ScanResult {
 		return res // too short to hold even one LUT
 	}
 
-	// --- Compile phase: one shared anchor index over all functions. ---
+	// --- Compile phase: one shared anchor index over all functions,
+	// cached on the scanner and rebuilt only after AddFunction. ---
 	compileSpan := s.tel.StartSpan("scan.compile")
 	compileStart := time.Now()
-	catalogues := make([][]candidate, len(s.fns))
-	maxAnchor := 0
-	var byAnchor [][]scanRef
-	if len(s.fns) > 0 {
-		byAnchor = make([][]scanRef, 1<<16)
+	if s.dirty {
+		s.recompile(&res.Stats)
+	} else {
+		// Whole index served from the scanner's own cache.
+		res.Stats.CatalogueHits = len(s.fns)
 	}
-	for fi, t := range s.fns {
-		cands, hit := catalogueFor(t.fn, s.opt)
-		catalogues[fi] = cands
-		if hit {
-			res.Stats.CatalogueHits++
-		} else {
-			res.Stats.CatalogueMisses++
-		}
-		res.Stats.CandidatesCompiled += len(cands)
-		for ci := range cands {
-			c := &cands[ci]
-			if c.anchor > maxAnchor {
-				maxAnchor = c.anchor
-			}
-			k := c.sub[c.anchor]
-			byAnchor[k] = append(byAnchor[k], scanRef{fn: int32(fi), ci: int32(ci)})
-		}
-	}
+	res.Stats.CandidatesCompiled = s.compiled
+	catalogues, byAnchor, maxAnchor := s.catalogues, s.byAnchor, s.maxAnchor
 	res.Stats.CompileTime = time.Since(compileStart)
 	compileSpan.SetAttr("candidates", res.Stats.CandidatesCompiled)
 	compileSpan.End()
@@ -382,6 +381,37 @@ func (s *Scanner) Scan(b []byte) *ScanResult {
 		}
 	}
 	return res
+}
+
+// recompile rebuilds the scanner's cached anchor index from its current
+// function set, folding catalogue-cache hit/miss counters into st.
+func (s *Scanner) recompile(st *ScanStats) {
+	s.catalogues = make([][]candidate, len(s.fns))
+	s.byAnchor = nil
+	s.maxAnchor = 0
+	s.compiled = 0
+	if len(s.fns) > 0 {
+		s.byAnchor = make([][]scanRef, 1<<16)
+	}
+	for fi, t := range s.fns {
+		cands, hit := catalogueFor(t.fn, s.opt)
+		s.catalogues[fi] = cands
+		if hit {
+			st.CatalogueHits++
+		} else {
+			st.CatalogueMisses++
+		}
+		s.compiled += len(cands)
+		for ci := range cands {
+			c := &cands[ci]
+			if c.anchor > s.maxAnchor {
+				s.maxAnchor = c.anchor
+			}
+			k := c.sub[c.anchor]
+			s.byAnchor[k] = append(s.byAnchor[k], scanRef{fn: int32(fi), ci: int32(ci)})
+		}
+	}
+	s.dirty = false
 }
 
 // dualXorAt evaluates the Section VII-B predicate at base position l.

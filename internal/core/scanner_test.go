@@ -235,6 +235,33 @@ func TestScanStatsObservability(t *testing.T) {
 	}
 }
 
+// TestScannerIndexReuse pins the scanner-local compiled index: a second
+// Scan on the same scanner serves the anchor index from the scanner
+// itself (no catalogue traffic, byte-identical results), and a later
+// AddFunction invalidates it so the next Scan sees the new query set.
+func TestScannerIndexReuse(t *testing.T) {
+	img := plantImage(t)
+	s := NewScanner(FindOptions{})
+	s.AddFunction("f", boolfn.F2)
+	first := s.Scan(img)
+	second := s.Scan(img)
+	if !reflect.DeepEqual(first.Matches, second.Matches) {
+		t.Fatal("reused index changed the matches")
+	}
+	if second.Stats.CatalogueMisses != 0 || second.Stats.CatalogueHits != 1 {
+		t.Fatalf("second scan recompiled: %+v", second.Stats)
+	}
+	if second.Stats.CandidatesCompiled != first.Stats.CandidatesCompiled {
+		t.Fatalf("candidate count drifted: %d vs %d",
+			second.Stats.CandidatesCompiled, first.Stats.CandidatesCompiled)
+	}
+	// Re-adding the key with a different function must rebuild the index
+	// and produce that function's FindLUT-identical matches.
+	s.AddFunction("f", boolfn.F19)
+	matchesEqual(t, "post-invalidate", s.Scan(img).Matches["f"],
+		FindLUT(img, boolfn.F19, FindOptions{}))
+}
+
 func TestScannerWorkerCapOnTinyInput(t *testing.T) {
 	frames := make([]byte, 2*bitstream.FrameBytes)
 	if err := bitstream.WriteLUT(frames, bitstream.Loc{Frame: 0, Slot: 5}, boolfn.F8); err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"snowbma/internal/device"
 	"snowbma/internal/obs"
 )
 
@@ -64,6 +65,11 @@ func (a *Attack) countLoad() {
 // mirrored values are Set (absolute), so repeated publication is
 // idempotent.
 func (a *Attack) publishStats() {
+	// The compiled-program counters live on the victim's simulator;
+	// snapshot them into the report whenever stats are synced.
+	if cs, ok := a.dev.(interface{ CompileStats() device.CompileStats }); ok {
+		a.rep.Fabric = cs.CompileStats()
+	}
 	if a.tel == nil || a.tel.Metrics == nil {
 		return
 	}

@@ -23,25 +23,41 @@ import (
 const MaxLanes = 64
 
 // Batch is a bitsliced multi-lane instance of a loaded configuration.
+//
+// A Batch is NOT safe for concurrent use: every evaluation mutates the
+// shared register file and scratch buffers, so all calls on one Batch
+// must come from a single goroutine (or be externally serialized).
+// Distinct Batches are independent — they share only immutable data
+// (the Description, the compiled Program and the base BRAM tables) —
+// so concurrent sweeps build one Batch per goroutine over the same
+// loaded base.
 type Batch struct {
 	desc  *bitstream.Description
 	lanes int
+	// st is the compiled-program evaluator state; its regs/ff arrays
+	// are the batch's net words (register slots are net ids), shared
+	// with the walker path below.
+	st *progState
+	// walk switches settle to the legacy description-walking evaluator,
+	// kept as the differential/bench baseline (SetWalker).
+	walk bool
 	// rows[64*i+m] holds, for LUT i, lane mask of truth-table bit m:
-	// bit L is bit m of lane L's truth table.
+	// bit L is bit m of lane L's truth table. Shared with st, so lane
+	// patches are visible to both evaluators.
 	rows []uint64
 	// bramTab is the shared (base) content; bramOver[b][L] overrides it
-	// for lane L when non-nil.
+	// for lane L when non-nil (walker path; the compiled path resolves
+	// overrides into st.tabs).
 	bramTab  [][]uint64
 	bramOver [][][]uint64
 	inPins   map[string]uint32
 	outPins  map[string]uint32
-	nets     []uint64
-	ffState  []uint64
 	scratch  [64]uint64
 	words    [MaxLanes]uint64
 	dirty    bool
-	// primed is set after the first settle: address-less BRAMs (constant
-	// ROMs) drive the same lane masks forever and are skipped afterwards.
+	// primed is set after the first walker settle: address-less BRAMs
+	// (constant ROMs) drive the same lane masks forever and are skipped
+	// afterwards. The compiled path replaces this with the prologue.
 	primed bool
 }
 
@@ -88,8 +104,6 @@ func (f *FPGA) BatchOf(patches []bitstream.PatchSet) (*Batch, error) {
 		bramOver: make([][][]uint64, len(desc.BRAMs)),
 		inPins:   f.inPins,
 		outPins:  f.outPins,
-		nets:     make([]uint64, desc.NumNets),
-		ffState:  make([]uint64, len(desc.FFs)),
 		dirty:    true,
 	}
 	for i, tt := range f.lutTT {
@@ -100,11 +114,8 @@ func (f *FPGA) BatchOf(patches []bitstream.PatchSet) (*Batch, error) {
 			}
 		}
 	}
-	for i, ff := range desc.FFs {
-		if ff.Init {
-			b.ffState[i] = ^uint64(0)
-		}
-	}
+	b.st = newProgState(f.prog, f.lutTT, f.bramTab, len(patches))
+	b.st.attachRows(b.rows)
 	// Index the CLB frames: which LUTs must be re-read when a frame is
 	// patched. Loc.Frame is relative to the CLB region.
 	lutsByFrame := make(map[int][]int)
@@ -114,6 +125,7 @@ func (f *FPGA) BatchOf(patches []bitstream.PatchSet) (*Batch, error) {
 	descStart := regions.DescOff / bitstream.FrameBytes
 	bramStart := regions.BRAMOff / bitstream.FrameBytes
 	totalFrames := regions.TotalLen / bitstream.FrameBytes
+	bramPatched := false
 	for lane, ps := range patches {
 		var bramRegion []byte
 		var bramFrames []int
@@ -153,14 +165,21 @@ func (f *FPGA) BatchOf(patches []bitstream.PatchSet) (*Batch, error) {
 			if err := b.rebuildBRAM(lane, bramRegion, bramFrames); err != nil {
 				return nil, fmt.Errorf("device: lane %d: %w", lane, err)
 			}
+			bramPatched = true
 		}
+	}
+	if bramPatched {
+		// Lane overrides may hit constant ROMs; recompute their outputs.
+		b.st.prologue()
 	}
 	return b, nil
 }
 
 // setLaneTT installs a truth table into one lane of a LUT's transposed
-// rows.
+// rows (shared with the compiled state) and switches the LUT's compiled
+// instruction site to the reduce form reading them.
 func (b *Batch) setLaneTT(lut, lane int, tt boolfn.TT) {
+	b.st.ensureReduceSite(lut)
 	rows := b.rows[64*lut : 64*lut+64]
 	bit := uint64(1) << uint(lane)
 	for m := range rows {
@@ -205,8 +224,22 @@ func (b *Batch) rebuildBRAM(lane int, region []byte, frames []int) error {
 			b.bramOver[i] = make([][]uint64, MaxLanes)
 		}
 		b.bramOver[i][lane] = tab
+		b.st.setTabLane(i, lane, tab)
 	}
 	return nil
+}
+
+// SetWalker switches the batch between the compiled-program evaluator
+// (default) and the legacy description-walking evaluator. Both run over
+// the same register file and lane patches, so results are identical;
+// the walker is kept as the differential and benchmark baseline.
+func (b *Batch) SetWalker(on bool) {
+	if on {
+		// The walker reads and latches the ff array directly; fold any
+		// inline flip-flop state back into it first.
+		b.st.materializeFF()
+	}
+	b.walk = on
 }
 
 // Lanes reports the number of active lanes.
@@ -219,7 +252,7 @@ func (b *Batch) SetInputLanes(name string, mask uint64) {
 	if !ok {
 		panic(fmt.Sprintf("device: no input pin %q", name))
 	}
-	b.nets[net] = mask
+	b.st.regs[net] = mask
 	b.dirty = true
 }
 
@@ -234,31 +267,44 @@ func (b *Batch) ReadLanes(name string) uint64 {
 		b.settle()
 	}
 	if b.lanes == MaxLanes {
-		return b.nets[net]
+		return b.st.regs[net]
 	}
-	return b.nets[net] & (1<<uint(b.lanes) - 1)
+	return b.st.regs[net] & (1<<uint(b.lanes) - 1)
 }
 
 // ClockBatch advances all lanes one cycle: evaluate, then latch every
 // flip-flop lane-wise.
 func (b *Batch) ClockBatch() {
-	b.settle()
-	for i, ff := range b.desc.FFs {
-		b.ffState[i] = b.nets[ff.D]
+	if b.walk {
+		b.walkSettle()
+		b.st.latch()
+	} else {
+		b.st.clock()
 	}
 	b.dirty = true
 }
 
-// settle evaluates the combinational fabric for all lanes at once,
-// walking the same evaluation order as the scalar device.
+// settle evaluates the combinational fabric for all lanes at once:
+// the compiled program by default, or the legacy walker when selected.
 func (b *Batch) settle() {
-	nets := b.nets
+	if !b.walk {
+		b.st.settle()
+		b.dirty = false
+		return
+	}
+	b.walkSettle()
+}
+
+// walkSettle is the original description-walking evaluator, running
+// over the same register file as the compiled program.
+func (b *Batch) walkSettle() {
+	nets := b.st.regs
 	if len(nets) > 1 {
 		nets[0] = 0
 		nets[1] = ^uint64(0)
 	}
 	for i, ff := range b.desc.FFs {
-		nets[ff.Q] = b.ffState[i]
+		nets[ff.Q] = b.st.ff[i]
 	}
 	for _, item := range b.desc.Eval {
 		switch item.Kind {
@@ -321,18 +367,48 @@ func (b *Batch) settle() {
 
 // transpose64 transposes a 64x64 bit matrix in place (the recursive
 // block-swap of Hacker's Delight 7-3, in LSB-first orientation): after
-// the call, bit L of row bi is the old bit bi of row L.
+// the call, bit L of row bi is the old bit bi of row L. Each halving
+// level is written out with its constant shift and mask — the compiler
+// then proves the row indices in range and drops the bounds checks,
+// which is worth ~35% on this hot path.
 func transpose64(a *[64]uint64) {
-	m := uint64(0x00000000FFFFFFFF)
-	for j := uint(32); j != 0; j >>= 1 {
-		// k walks the rows whose index has bit j clear; each pairs with
-		// row k+j to swap the off-diagonal sub-blocks.
-		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
-			t := (a[k]>>j ^ a[k+int(j)]) & m
-			a[k] ^= t << j
-			a[k+int(j)] ^= t
+	for k := 0; k < 32; k++ {
+		t := (a[k]>>32 ^ a[k+32]) & 0x00000000FFFFFFFF
+		a[k] ^= t << 32
+		a[k+32] ^= t
+	}
+	for b := 0; b < 64; b += 32 {
+		for k := b; k < b+16; k++ {
+			t := (a[k]>>16 ^ a[k+16]) & 0x0000FFFF0000FFFF
+			a[k] ^= t << 16
+			a[k+16] ^= t
 		}
-		m ^= m << (j >> 1)
+	}
+	for b := 0; b < 64; b += 16 {
+		for k := b; k < b+8; k++ {
+			t := (a[k]>>8 ^ a[k+8]) & 0x00FF00FF00FF00FF
+			a[k] ^= t << 8
+			a[k+8] ^= t
+		}
+	}
+	for b := 0; b < 64; b += 8 {
+		for k := b; k < b+4; k++ {
+			t := (a[k]>>4 ^ a[k+4]) & 0x0F0F0F0F0F0F0F0F
+			a[k] ^= t << 4
+			a[k+4] ^= t
+		}
+	}
+	for b := 0; b < 64; b += 4 {
+		for k := b; k < b+2; k++ {
+			t := (a[k]>>2 ^ a[k+2]) & 0x3333333333333333
+			a[k] ^= t << 2
+			a[k+2] ^= t
+		}
+	}
+	for k := 0; k < 64; k += 2 {
+		t := (a[k]>>1 ^ a[k+1]) & 0x5555555555555555
+		a[k] ^= t << 1
+		a[k+1] ^= t
 	}
 }
 
@@ -346,13 +422,13 @@ func (b *Batch) reduce(rows []uint64, k int, inputs []uint32) uint64 {
 	// The top mux level reads straight from the rows, halving the work
 	// compared to copying all 1<<k rows into scratch first.
 	half := 1 << uint(k-1)
-	sel := b.nets[inputs[k-1]]
+	sel := b.st.regs[inputs[k-1]]
 	v := b.scratch[:half]
 	for m := 0; m < half; m++ {
 		v[m] = sel&rows[m|half] | ^sel&rows[m]
 	}
 	for j := k - 2; j >= 0; j-- {
-		sel = b.nets[inputs[j]]
+		sel = b.st.regs[inputs[j]]
 		half >>= 1
 		for m := 0; m < half; m++ {
 			v[m] = sel&v[m|half] | ^sel&v[m]

@@ -48,9 +48,12 @@ type FPGA struct {
 	bramTab [][]uint64
 	inPins  map[string]uint32
 	outPins map[string]uint32
-	nets    []bool
-	ffState []bool
-	dirty   bool
+	// prog is the configuration compiled to a flat program; st is the
+	// 1-lane evaluator state the scalar clock path runs on. Batches
+	// share prog and build their own states.
+	prog  *Program
+	st    *progState
+	dirty bool
 	// tel optionally records configuration-path spans and event counters
 	// (SetTelemetry; nil-safe, zero overhead when unset).
 	tel *obs.Telemetry
@@ -141,8 +144,8 @@ func (f *FPGA) clear() {
 	f.bramTab = nil
 	f.inPins = nil
 	f.outPins = nil
-	f.nets = nil
-	f.ffState = nil
+	f.prog = nil
+	f.st = nil
 	f.fdri = nil
 	f.dirty = false
 }
@@ -200,9 +203,9 @@ func decodeConfig(fdri []byte) (*config, error) {
 	}, nil
 }
 
-// commit installs a staged configuration. Partial reconfiguration
-// preserves register state when the register structure is unchanged; a
-// full (re)configuration resets it.
+// commit installs a staged configuration, compiling it into a fresh
+// Program. Partial reconfiguration preserves register state when the
+// register structure is unchanged; a full (re)configuration resets it.
 func (f *FPGA) commit(cfg *config, preserveFF bool) {
 	f.desc = cfg.desc
 	f.lutTT = cfg.lutTT
@@ -217,12 +220,23 @@ func (f *FPGA) commit(cfg *config, preserveFF bool) {
 			f.outPins[port.Name] = port.Net
 		}
 	}
-	f.nets = make([]bool, cfg.desc.NumNets)
-	if !preserveFF || len(f.ffState) != len(cfg.desc.FFs) {
-		f.ffState = make([]bool, len(cfg.desc.FFs))
-		f.Reset()
+	old := f.st
+	f.prog = compile(cfg.desc, cfg.lutTT, f.tel)
+	f.st = newProgState(f.prog, cfg.lutTT, cfg.bramTab, 1)
+	if preserveFF && old != nil && len(old.ff) == len(f.st.ff) {
+		old.materializeFF()
+		copy(f.st.ff, old.ff)
 	}
 	f.dirty = true
+}
+
+// CompileStats reports the statistics of the currently loaded
+// configuration's compiled program (zero when unconfigured).
+func (f *FPGA) CompileStats() CompileStats {
+	if f.prog == nil {
+		return CompileStats{}
+	}
+	return f.prog.stats
 }
 
 // PartialReconfig overwrites one configuration frame of the running
@@ -255,8 +269,73 @@ func (f *FPGA) PartialReconfig(frame int, data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Patch-only fast path: a CLB or BRAM frame write cannot change the
+	// shared structure, so instead of recompiling we rewrite only the
+	// affected instructions' operand tables in the running state. Header
+	// and description frames fall back to a full commit + recompile.
+	if kind, ok := f.frameKind(frame); ok && f.prog != nil {
+		switch kind {
+		case bitstream.FrameCLB:
+			patched := 0
+			for i, tt := range cfg.lutTT {
+				if tt != f.lutTT[i] {
+					f.st.patchLUTAll(i, tt)
+					patched++
+				}
+			}
+			f.tel.Counter("device.patched_insns").Add(int64(patched))
+			f.adoptConfig(cfg)
+			return nil
+		case bitstream.FrameBRAM:
+			touched := false
+			for i, tab := range cfg.bramTab {
+				if !equalTabs(tab, f.bramTab[i]) {
+					f.st.setTabAll(i, tab)
+					touched = true
+				}
+			}
+			if touched {
+				f.st.prologue()
+			}
+			f.adoptConfig(cfg)
+			return nil
+		}
+	}
 	f.commit(cfg, true)
 	return nil
+}
+
+// frameKind classifies a frame index of the live FDRI region.
+func (f *FPGA) frameKind(frame int) (bitstream.FrameRegion, bool) {
+	regions, err := bitstream.ParseRegions(f.fdri)
+	if err != nil {
+		return 0, false
+	}
+	kind, _, err := regions.ClassifyFrame(frame)
+	return kind, err == nil
+}
+
+// adoptConfig installs the staged data of a patch-only partial
+// reconfiguration: the structure is unchanged, so the compiled program
+// and evaluator state stay, already patched in place.
+func (f *FPGA) adoptConfig(cfg *config) {
+	f.desc = f.prog.desc // structurally identical; keep the compiled one
+	f.lutTT = cfg.lutTT
+	f.bramTab = cfg.bramTab
+	f.fdri = cfg.fdri
+	f.dirty = true
+}
+
+func equalTabs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Status returns the boot status of the last Load attempt.
@@ -304,8 +383,18 @@ func (f *FPGA) Readback() ([]byte, error) {
 	return fdri, nil
 }
 
+// MaxNets is the fabric capacity: the largest net count a description
+// may declare, mirroring the finite fabric of real silicon. It also
+// guarantees every compiled register slot — nets, synthesis temporaries
+// and clock-edge spill registers — fits the 16-bit operand fields of
+// the flat instruction encoding.
+const MaxNets = 16384
+
 // validate checks net references before trusting a description.
 func validate(d *bitstream.Description) error {
+	if d.NumNets > MaxNets {
+		return fmt.Errorf("description declares %d nets, fabric capacity is %d", d.NumNets, MaxNets)
+	}
 	ok := func(id uint32) bool { return id < d.NumNets }
 	for _, p := range d.Ports {
 		if !ok(p.Net) {
@@ -351,9 +440,7 @@ func validate(d *bitstream.Description) error {
 
 // Reset returns all registers to their configuration-time init values.
 func (f *FPGA) Reset() {
-	for i, ff := range f.desc.FFs {
-		f.ffState[i] = ff.Init
-	}
+	f.st.reset()
 	f.dirty = true
 }
 
@@ -363,73 +450,21 @@ func (f *FPGA) SetInput(name string, v bool) {
 	if !ok {
 		panic(fmt.Sprintf("device: no input pin %q", name))
 	}
-	f.nets[net] = v
+	if v {
+		f.st.regs[net] = ^uint64(0)
+	} else {
+		f.st.regs[net] = 0
+	}
 	f.dirty = true
 }
 
-// settle evaluates the combinational fabric for the current inputs and
-// register state.
-func (f *FPGA) settle() {
-	// Constants occupy nets 0 and 1 by construction of the assembler.
-	if len(f.nets) > 1 {
-		f.nets[0] = false
-		f.nets[1] = true
-	}
-	for i, ff := range f.desc.FFs {
-		f.nets[ff.Q] = f.ffState[i]
-	}
-	for _, item := range f.desc.Eval {
-		switch item.Kind {
-		case bitstream.EvalLUT:
-			rec := &f.desc.LUTs[item.Index]
-			var m uint
-			for i, in := range rec.Inputs {
-				if f.nets[in] {
-					m |= 1 << uint(i)
-				}
-			}
-			tt := f.lutTT[item.Index]
-			if rec.O5 != bitstream.NoNet {
-				// Fractured LUT: a6 selects the half (Fig 4).
-				f.nets[rec.O5] = tt.Eval(m &^ (1 << 5))
-				f.nets[rec.O6] = tt.Eval(m | 1<<5)
-			} else {
-				f.nets[rec.O6] = tt.Eval(m)
-			}
-		case bitstream.EvalBRAM:
-			rec := &f.desc.BRAMs[item.Index]
-			addr := 0
-			for i, a := range rec.Addr {
-				if f.nets[a] {
-					addr |= 1 << uint(i)
-				}
-			}
-			word := f.bramTab[item.Index][addr]
-			for b, out := range rec.Out {
-				f.nets[out] = word>>uint(b)&1 == 1
-			}
-		case bitstream.EvalAdder:
-			rec := &f.desc.Adders[item.Index]
-			carry := false
-			for i := range rec.A {
-				av, bv := f.nets[rec.A[i]], f.nets[rec.B[i]]
-				f.nets[rec.Sum[i]] = av != bv != carry
-				carry = (av && bv) || (carry && (av != bv))
-			}
-		}
-	}
-	f.dirty = false
-}
-
-// Clock advances one cycle: evaluate, then latch every flip-flop.
+// Clock advances one cycle: evaluate the compiled program, then latch
+// every flip-flop.
 func (f *FPGA) Clock() {
 	if !f.loaded {
 		panic("device: Clock before successful Load")
 	}
-	f.settle()
-	for i, ff := range f.desc.FFs {
-		f.ffState[i] = f.nets[ff.D]
-	}
+	f.st.clock()
 	f.dirty = true
 }
 
@@ -440,9 +475,10 @@ func (f *FPGA) Read(name string) bool {
 		panic(fmt.Sprintf("device: no output pin %q", name))
 	}
 	if f.dirty {
-		f.settle()
+		f.st.settle()
+		f.dirty = false
 	}
-	return f.nets[net]
+	return f.st.regs[net]&1 == 1
 }
 
 // Loaded reports whether the device currently holds a valid

@@ -11,6 +11,7 @@ import (
 
 	"snowbma/internal/boolfn"
 	"snowbma/internal/core"
+	"snowbma/internal/device"
 	"snowbma/internal/mapper"
 	"snowbma/internal/obs"
 )
@@ -63,6 +64,9 @@ func Attack(rep *core.Report) string {
 	if rep.Batch.Passes > 0 {
 		b.WriteString(BatchStats(rep.Batch))
 	}
+	if rep.Fabric.Insns > 0 {
+		b.WriteString(FabricStats(rep.Fabric))
+	}
 	b.WriteString("key-independent keystream (Table III analogue):\n")
 	b.WriteString(Keystream(rep.KeyIndependent))
 	b.WriteString("faulty keystream (Table IV analogue):\n")
@@ -112,6 +116,20 @@ func BatchStats(s core.BatchStats) string {
 		fmt.Fprintf(&b, "  crc recompute:       %d incremental, %d full\n",
 			s.IncrementalCRCs, s.FullCRCs)
 	}
+	return b.String()
+}
+
+// FabricStats renders the compiled flat-program summary of the loaded
+// configuration: how the LUT/FF/BRAM graph flattened into the
+// instruction stream both evaluators execute.
+func FabricStats(s device.CompileStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compiled fabric:       %d instructions, %d synthesis temps\n",
+		s.Insns, s.Temps)
+	fmt.Fprintf(&b, "  lut forms:           %d shannon, %d parity, %d mux-reduce (%d const inputs folded)\n",
+		s.ShannonLUTs, s.ParityLUTs, s.ReduceLUTs, s.FoldedInputs)
+	fmt.Fprintf(&b, "  bram:                %d transpose groups, %d const ROMs primed at compile\n",
+		s.BRAMGroups, s.ConstROMs)
 	return b.String()
 }
 

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"snowbma/internal/obs"
@@ -68,7 +69,10 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "service: bad job spec: " + err.Error()})
+		// Route decode failures through the same typed-error path as
+		// validation failures: clients (and errors.Is in tests) see one
+		// ErrSpec shape for every malformed spec, not a hand-rolled body.
+		httpError(w, fmt.Errorf("%w: %v", ErrSpec, err))
 		return
 	}
 	st, err := e.Submit(spec)

@@ -197,3 +197,50 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		t.Fatalf("submit during drain = %d, want 503", code)
 	}
 }
+
+// TestHTTPSubmitErrorShapes pins the contract that every way a submit
+// can fail produces the same typed-error shape through httpError: the
+// status code matches the error class and the body's error string
+// carries the sentinel's prefix, whether the failure happened during
+// JSON decoding or during spec validation.
+func TestHTTPSubmitErrorShapes(t *testing.T) {
+	fn, release := gate()
+	defer release()
+	e := newStubEngine(1, 1, fn)
+	defer e.Shutdown(context.Background())
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name     string
+		body     string
+		code     int
+		sentinel error
+	}{
+		{"malformed-json", `{"kind": `, http.StatusBadRequest, ErrSpec},
+		{"wrong-type", `{"kind": 7}`, http.StatusBadRequest, ErrSpec},
+		{"unknown-field", `{"kind": "attack", "bogus": 1}`, http.StatusBadRequest, ErrSpec},
+		{"unknown-kind", `{"kind": "nope"}`, http.StatusBadRequest, ErrSpec},
+		{"findlut-missing-expr", `{"kind": "findlut"}`, http.StatusBadRequest, ErrSpec},
+		{"campaign-missing-runs", `{"kind": "campaign"}`, http.StatusBadRequest, ErrSpec},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.code)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if !strings.HasPrefix(eb.Error, tc.sentinel.Error()) {
+				t.Fatalf("error %q does not carry the %q shape", eb.Error, tc.sentinel.Error())
+			}
+		})
+	}
+}
