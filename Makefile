@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test tier1 race bench bench-json trace-smoke campaign-smoke serve-smoke fuzz clean
+.PHONY: all build vet test tier1 race bench bench-json bench-check trace-smoke campaign-smoke serve-smoke fuzz clean
 
 all: tier1
 
@@ -38,16 +38,33 @@ bench:
 # ratio is the compiled-evaluator acceptance number, and the
 # ScannerBatchVsSequential pair replaces BENCH_PR2's inverted MB/s
 # figures (that harness rebuilt the scanner inside the timed loop and
-# credited the batch pass with 1/21st of its logical bytes).
+# credited the batch pass with 1/21st of its logical bytes). PR7 adds
+# the multi-word widths: ClockBatch/lanes-{128,256} per-lane scaling,
+# the >64-candidate width-aware sweep (BenchmarkCandidateSweepWide in
+# internal/core, one 128-lane pass vs the 64-lane double-pass), and the
+# batch-128 end-to-end attack; both packages' output merges into
+# BENCH_PR7.json.
 BENCH_PR2 = BenchmarkAttackEndToEnd|BenchmarkCandidateSweep|BenchmarkClockBatch|BenchmarkScannerBatchVsSequential|BenchmarkFindLUT10MB
 BENCH_PR3 = BenchmarkAttackEndToEnd
 BENCH_PR4 = BenchmarkCampaignThroughput
 BENCH_PR5 = BenchmarkServiceThroughput
 BENCH_PR6 = BenchmarkClockBatch|BenchmarkCandidateSweep|BenchmarkScannerBatchVsSequential
+BENCH_PR7 = BenchmarkClockBatch|BenchmarkCandidateSweep|BenchmarkAttackEndToEnd
 bench-json:
-	$(GO) test -run xxx -bench '$(BENCH_PR6)' -benchtime 10x . \
-		| $(GO) run ./tools/benchjson -o BENCH_PR6.json
-	@cat BENCH_PR6.json
+	{ $(GO) test -run xxx -bench 'BenchmarkAttackEndToEnd|BenchmarkCandidateSweep$$' -benchtime 10x . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkClockBatch' -benchtime 2000x . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkCandidateSweepWide' -benchtime 300x ./internal/core ; } \
+		| $(GO) run ./tools/benchjson -o BENCH_PR7.json
+	@cat BENCH_PR7.json
+
+# bench-check is the regression gate on the compiled fabric's headline
+# figure: lanes-64 ns/lane-cycle must stay within 10% of the committed
+# PR6 baseline. Five counts, best run — the gate measures capability,
+# not scheduler noise on a shared box.
+bench-check:
+	$(GO) test -run xxx -bench 'BenchmarkClockBatch/lanes-64$$' -benchtime 5000x -count 5 . \
+		| $(GO) run ./tools/benchjson -baseline BENCH_PR6.json \
+			-name 'BenchmarkClockBatch/lanes-64' -metric ns/lane-cycle -max-ratio 1.10
 
 # trace-smoke exercises the observability path end to end: run the
 # attack with -trace, then feed the NDJSON through the independent

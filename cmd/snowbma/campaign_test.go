@@ -42,7 +42,7 @@ func TestCmdCampaignFlagValidation(t *testing.T) {
 	if err := cmdCampaign([]string{"-runs", "1", "-parallel", "-2"}); err == nil {
 		t.Fatal("negative -parallel accepted")
 	}
-	if err := cmdCampaign([]string{"-runs", "1", "-lanes", "65"}); err == nil {
+	if err := cmdCampaign([]string{"-runs", "1", "-lanes", "257"}); err == nil {
 		t.Fatal("oversized -lanes accepted")
 	}
 }

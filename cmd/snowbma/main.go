@@ -258,7 +258,7 @@ func cmdAttack(args []string) error {
 	encrypted := fs.Bool("encrypted", false, "victim uses an encrypted bitstream")
 	verbose := fs.Bool("v", false, "log attack progress")
 	census := fs.Bool("census", false, "use census-guided discovery instead of the Table II catalogue")
-	lanes := fs.Int("lanes", snowbma.MaxLanes, "candidate-sweep width: simulator lanes per fabric pass (1 = scalar)")
+	lanes := fs.Int("lanes", snowbma.DefaultLanes, "candidate-sweep width: simulator lanes per fabric pass (1 = scalar, up to 256)")
 	stats := fs.Bool("stats", false, "print scan-engine and batch-sweep counters even on failure")
 	tracePath := traceFlag(fs)
 	keyStr := keyFlag(fs)

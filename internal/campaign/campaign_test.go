@@ -92,7 +92,7 @@ func TestGenerateScenariosCoverage(t *testing.T) {
 			t.Errorf("fault %q never generated in 200 scenarios", f)
 		}
 	}
-	for _, w := range []int{1, 2, 8, device.MaxLanes} {
+	for _, w := range []int{1, 2, 8, device.LaneWordBits, 2 * device.LaneWordBits, device.MaxLanes} {
 		if lanes[w] == 0 {
 			t.Errorf("lane width %d never generated", w)
 		}

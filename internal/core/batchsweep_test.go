@@ -2,7 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+	"snowbma/internal/device"
 )
 
 // runAttack executes the full paper attack at a given sweep width and
@@ -155,7 +160,7 @@ func TestSetLanesValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, bad := range []int{-1, 0, 65, 1000} {
+	for _, bad := range []int{-1, 0, device.MaxLanes + 1, 1000} {
 		err := atk.SetLanes(bad)
 		if err == nil {
 			t.Fatalf("SetLanes(%d) accepted", bad)
@@ -164,12 +169,89 @@ func TestSetLanesValidation(t *testing.T) {
 			t.Fatalf("SetLanes(%d) error %v does not wrap ErrLanes", bad, err)
 		}
 	}
-	for _, good := range []int{1, 2, 63, 64} {
+	for _, good := range []int{1, 2, 63, 64, 65, 100, 128, 129, device.MaxLanes} {
 		if err := atk.SetLanes(good); err != nil {
 			t.Fatalf("SetLanes(%d): %v", good, err)
 		}
 		if atk.Report().Batch.Width != good {
 			t.Fatalf("Width = %d after SetLanes(%d)", atk.Report().Batch.Width, good)
 		}
+	}
+}
+
+// BenchmarkCandidateSweepWide isolates the width-aware sweep engine on a
+// synthetic >64-candidate family (100 single-LUT variants of the victim
+// image): at 64 lanes the family needs two fabric passes, at 128 lanes
+// one two-word pass, at 256 lanes one pass whose top two words idle.
+// The candidate patch sets are diffed once in setup — building a
+// candidate is attack logic whose cost is identical at every width —
+// so the timed region is exactly what the width changes: how many
+// fabric passes the family needs and what each pass costs.
+//
+// Each pass pays its full configuration cost (baseLive is cleared so
+// loadAndRunBatch re-decodes and re-loads the base image): on hardware
+// every fabric pass is a bitstream reconfiguration, and in the attack
+// the scalar fallback trials interleaved with batch passes keep
+// knocking the device off the base configuration. Halving the pass
+// count is precisely what the wider sweep buys; the 64-vs-128
+// throughput ratio is ISSUE 7's acceptance number.
+func BenchmarkCandidateSweepWide(b *testing.B) {
+	victim := buildVictim(b, false, false)
+	img := victim.ReadFlash()
+	parsed, err := bitstream.ParsePackets(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions, err := bitstream.ParseRegions(parsed.FDRI(img))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fdri := parsed.FDRI(img)
+	desc, err := bitstream.UnmarshalDescription(fdri[regions.DescOff : regions.DescOff+regions.DescLen])
+	if err != nil {
+		b.Fatal(err)
+	}
+	const count, n = 100, 4
+	for _, lanes := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("lanes-%d", lanes), func(b *testing.B) {
+			atk, err := NewAttack(victim, attackIV, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := atk.SetLanes(lanes); err != nil {
+				b.Fatal(err)
+			}
+			bl, ok := atk.dev.(batchLoader)
+			if !ok {
+				b.Fatal("victim device is not a batch loader")
+			}
+			patches := make([]bitstream.PatchSet, count)
+			for i := range patches {
+				work := atk.working()
+				clb := parsed.FDRI(work)[regions.CLBOff : regions.CLBOff+regions.CLBLen]
+				lut := desc.LUTs[i%len(desc.LUTs)]
+				if err := bitstream.WriteLUT(clb, lut.Loc, boolfn.TT(0x9E3779B97F4A7C15*uint64(i+1))); err != nil {
+					b.Fatal(err)
+				}
+				if patches[i], err = parsed.DiffFrames(atk.plain, work); err != nil {
+					b.Fatal(err)
+				}
+			}
+			starts := chunkStarts(count, lanes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k, lo := range starts {
+					hi := count
+					if k+1 < len(starts) {
+						hi = starts[k+1]
+					}
+					atk.baseLive = false
+					if _, err := atk.loadAndRunBatch(bl, patches[lo:hi], n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(count), "ns/candidate")
+		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"snowbma/internal/device"
 	"snowbma/internal/snow3g"
 )
 
@@ -127,12 +128,12 @@ func TestSetContextNilRestoresBackground(t *testing.T) {
 }
 
 func TestValidateLanes(t *testing.T) {
-	for _, n := range []int{1, 2, DefaultLanes} {
+	for _, n := range []int{1, 2, DefaultLanes, device.MaxLanes} {
 		if err := ValidateLanes(n); err != nil {
 			t.Fatalf("ValidateLanes(%d) = %v, want nil", n, err)
 		}
 	}
-	for _, n := range []int{0, -1, DefaultLanes + 1} {
+	for _, n := range []int{0, -1, device.MaxLanes + 1} {
 		if err := ValidateLanes(n); !errors.Is(err, ErrLanes) {
 			t.Fatalf("ValidateLanes(%d) = %v, want ErrLanes", n, err)
 		}

@@ -127,6 +127,7 @@ func scanStatsFromMetrics(m *obs.Registry) ScanStats {
 func publishBatchStats(m *obs.Registry, s BatchStats) {
 	m.Gauge("batch.width").Set(float64(s.Width))
 	m.Counter("batch.passes").Set(int64(s.Passes))
+	m.Counter("batch.lane_words").Set(int64(s.LaneWords))
 	m.Counter("batch.lanes").Set(int64(s.Lanes))
 	m.Counter("batch.fallbacks").Set(int64(s.Fallbacks))
 	m.Counter("batch.patched_frames").Set(int64(s.PatchedFrames))
@@ -146,6 +147,7 @@ func batchStatsFromMetrics(m *obs.Registry) BatchStats {
 	return BatchStats{
 		Width:              int(m.Gauge("batch.width").Value()),
 		Passes:             int(m.Counter("batch.passes").Value()),
+		LaneWords:          int(m.Counter("batch.lane_words").Value()),
 		Lanes:              int(m.Counter("batch.lanes").Value()),
 		Fallbacks:          int(m.Counter("batch.fallbacks").Value()),
 		PatchedFrames:      int(m.Counter("batch.patched_frames").Value()),

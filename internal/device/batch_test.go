@@ -89,13 +89,14 @@ func scalarKeystream(t testing.TB, img []byte, n int) []uint32 {
 
 // TestBatchMatchesScalarLanes pins the tentpole property: every lane of
 // a patched batch produces the exact keystream a scalar device loaded
-// with that lane's full image would, for lane counts 1, 5 and 64, with
-// LUT patches, BRAM patches, multi-frame patches and clean lanes mixed.
+// with that lane's full image would — at one, two and four register
+// words per slot including a partial top word (100 lanes) — with LUT
+// patches, BRAM patches, multi-frame patches and clean lanes mixed.
 func TestBatchMatchesScalarLanes(t *testing.T) {
 	fx := newBatchFixture(t)
 	rng := rand.New(rand.NewSource(99))
 	const n = 6
-	for _, lanes := range []int{1, 5, 64} {
+	for _, lanes := range []int{1, 5, 64, 100, MaxLanes} {
 		patches := make([]bitstream.PatchSet, lanes)
 		images := make([][]byte, lanes)
 		for L := 0; L < lanes; L++ {
@@ -201,7 +202,7 @@ func TestLoadPatchedValidation(t *testing.T) {
 		t.Fatal("zero lanes accepted")
 	}
 	if _, err := f.LoadPatched(fx.img, make([]bitstream.PatchSet, MaxLanes+1)); err == nil {
-		t.Fatal("65 lanes accepted")
+		t.Fatalf("%d lanes accepted", MaxLanes+1)
 	}
 	frame := make([]byte, bitstream.FrameBytes)
 	bad := []struct {

@@ -71,12 +71,15 @@ func GenerateKeystream(dev Device, iv snow3g.IV, n int) []uint32 {
 }
 
 // BatchDevice abstracts a bitsliced multi-lane device: every pin
-// carries a lane mask whose bit L is the value in lane L. The
-// device.Batch evaluator implements it.
+// carries lane-mask words, bit L%64 of word L/64 being the value in
+// lane L. SetInputLanes broadcasts one 64-lane pattern across every
+// word (the protocol only drives all-0/all-1); ReadLaneWords appends
+// the pin's lane words to dst and returns it. The device.Batch
+// evaluator implements it at 1..device.MaxLanes lanes.
 type BatchDevice interface {
 	SetInputLanes(name string, mask uint64)
 	ClockBatch()
-	ReadLanes(name string) uint64
+	ReadLaneWords(name string, dst []uint64) []uint64
 	Lanes() int
 }
 
@@ -128,12 +131,13 @@ func GenerateKeystreamBatch(dev BatchDevice, iv snow3g.IV, n int) [][]uint32 {
 	for L := range out {
 		out[L] = make([]uint32, n)
 	}
+	var buf []uint64
 	for t := 0; t < n; t++ {
 		dev.ClockBatch()
 		for i := 0; i < 32; i++ {
-			mask := dev.ReadLanes(fmt.Sprintf("%s[%d]", PortZ, i))
+			buf = dev.ReadLaneWords(fmt.Sprintf("%s[%d]", PortZ, i), buf[:0])
 			for L := 0; L < lanes; L++ {
-				if mask>>uint(L)&1 == 1 {
+				if buf[L>>6]>>uint(L&63)&1 == 1 {
 					out[L][t] |= 1 << uint(i)
 				}
 			}

@@ -107,6 +107,9 @@ func BatchStats(s core.BatchStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "batch sweeps:          %d lane(s) wide, %d fabric pass(es), %d candidate lanes, %d scalar fallbacks\n",
 		s.Width, s.Passes, s.Lanes, s.Fallbacks)
+	if s.LaneWords > 0 {
+		fmt.Fprintf(&b, "  register words:      %d 64-lane word(s) swept\n", s.LaneWords)
+	}
 	fmt.Fprintf(&b, "  frame patches:       %d applied across all lanes\n", s.PatchedFrames)
 	if s.IncrementalReseals+s.FullReseals > 0 {
 		fmt.Fprintf(&b, "  reseal:              %d incremental, %d full\n",

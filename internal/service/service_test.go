@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"snowbma/internal/core"
+	"snowbma/internal/device"
 )
 
 // newStubEngine builds an engine whose job bodies run fn instead of
@@ -59,7 +60,7 @@ func TestSubmitValidation(t *testing.T) {
 	bad := []JobSpec{
 		{Kind: "exfiltrate"},
 		{Kind: KindFindLUT},
-		{Kind: KindAttack, Lanes: core.DefaultLanes + 1},
+		{Kind: KindAttack, Lanes: device.MaxLanes + 1},
 		{Kind: KindAttack, Lanes: -1},
 		{Kind: KindCampaign},
 		{Kind: KindCampaign, Campaign: &CampaignSpec{Runs: 0}},
@@ -71,7 +72,7 @@ func TestSubmitValidation(t *testing.T) {
 			t.Fatalf("Submit(%+v) = %v, want ErrSpec", spec, err)
 		}
 	}
-	if _, err := e.Submit(JobSpec{Kind: KindAttack, Lanes: core.DefaultLanes + 1}); !errors.Is(err, core.ErrLanes) {
+	if _, err := e.Submit(JobSpec{Kind: KindAttack, Lanes: device.MaxLanes + 1}); !errors.Is(err, core.ErrLanes) {
 		t.Fatal("lane validation must route through core.ValidateLanes (ErrLanes)")
 	}
 }

@@ -8,15 +8,20 @@ import (
 )
 
 // normalizeReport zeroes the report fields that are not part of the
-// semantic attack outcome: wall-clock scan timings and the process-wide
+// semantic attack outcome: wall-clock scan timings, the process-wide
 // candidate-catalogue cache counters (which depend on what earlier
-// tests already compiled).
+// tests already compiled), and the width-dependent simulator counters
+// (two runs at different sweep widths do the same attack in a
+// different number of fabric passes).
 func normalizeReport(r *Report) *Report {
 	c := r.Clone()
 	c.Scan.CompileTime = 0
 	c.Scan.ScanTime = 0
 	c.Scan.CatalogueHits = 0
 	c.Scan.CatalogueMisses = 0
+	c.Batch.Width = 0
+	c.Batch.Passes = 0
+	c.Batch.LaneWords = 0
 	return c
 }
 

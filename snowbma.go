@@ -161,8 +161,16 @@ type Report = core.Report
 type BatchStats = core.BatchStats
 
 // MaxLanes is the lane capacity of the bitsliced candidate sweep: how
-// many virtual devices one simulator pass evaluates at most.
+// many virtual devices one simulator pass evaluates at most. Each
+// 64-lane block costs one register-slot word, so passes are cheapest at
+// multiples of 64.
 const MaxLanes = device.MaxLanes
+
+// DefaultLanes is the sweep width entrypoints use when WithLanes is not
+// given: 128 lanes (two register-slot words), wide enough to cover the
+// standard attack's ~100-member candidate families in a single fabric
+// pass.
+const DefaultLanes = core.DefaultLanes
 
 // ErrLanes is returned (wrapped) for out-of-range candidate-sweep
 // widths — by WithLanes-carrying entrypoints, the CLI and the campaign
@@ -191,7 +199,7 @@ type options struct {
 }
 
 func buildOptions(opts []Option) options {
-	o := options{lanes: MaxLanes}
+	o := options{lanes: DefaultLanes}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -200,7 +208,8 @@ func buildOptions(opts []Option) options {
 
 // WithLanes sets the candidate-sweep width: how many modified bitstream
 // variants one bitsliced simulator pass evaluates (1..MaxLanes; 1
-// forces the scalar path). The width changes only wall-clock time —
+// forces the scalar path, widths above 64 span multiple register-slot
+// words). The width changes only wall-clock time —
 // Report.Loads and HardwareEstimate model per-candidate hardware
 // reconfigurations and are invariant under it. Out-of-range widths fail
 // the entrypoint with an error wrapping ErrLanes.

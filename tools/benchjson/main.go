@@ -10,6 +10,19 @@
 // It reads stdin (or a file argument), keeps every "Benchmark..." result
 // line including custom ReportMetric units, and passes through the
 // goos/goarch/pkg/cpu header fields.
+//
+// With -baseline it additionally gates on a regression: the named
+// benchmark's metric in the parsed run is compared against the same
+// entry in a previously-committed JSON document, and the process exits
+// non-zero if current/baseline exceeds -max-ratio:
+//
+//	go test -run xxx -bench ClockBatch -count 5 . |
+//	  go run ./tools/benchjson -baseline BENCH_PR6.json \
+//	    -name BenchmarkClockBatch/lanes-64 -metric ns/lane-cycle -max-ratio 1.10
+//
+// Names are matched with any trailing -N GOMAXPROCS suffix stripped,
+// and duplicate entries (from -count) collapse to their best value, so
+// the gate measures capability, not scheduler noise.
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -56,7 +70,13 @@ func Parse(r io.Reader) (*Doc, error) {
 		case strings.HasPrefix(line, "goarch: "):
 			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			// Concatenated multi-package runs list every package.
+			p := strings.TrimPrefix(line, "pkg: ")
+			if doc.Pkg == "" {
+				doc.Pkg = p
+			} else if !slices.Contains(strings.Split(doc.Pkg, ", "), p) {
+				doc.Pkg += ", " + p
+			}
 		case strings.HasPrefix(line, "cpu: "):
 			doc.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
@@ -94,8 +114,78 @@ func parseLine(line string) (Result, bool) {
 	return res, len(res.Metrics) > 0
 }
 
+// matchesName reports whether a recorded benchmark name is the wanted
+// canonical name, tolerating the trailing -N GOMAXPROCS suffix go test
+// appends on some machines. The wanted name itself may end in -digits
+// ("lanes-64"), so stripping both sides would be ambiguous; only the
+// recorded side may carry one extra numeric segment.
+func matchesName(entry, want string) bool {
+	if entry == want {
+		return true
+	}
+	suf, ok := strings.CutPrefix(entry, want+"-")
+	if !ok || suf == "" {
+		return false
+	}
+	for _, c := range suf {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// bestMetric returns the smallest value of metric across every entry of
+// doc matching name (duplicates come from -count runs; smaller is
+// better for every time-per-work unit we gate on).
+func bestMetric(doc *Doc, name, metric string) (float64, bool) {
+	best, found := 0.0, false
+	for _, r := range doc.Results {
+		if !matchesName(r.Name, name) {
+			continue
+		}
+		v, ok := r.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if !found || v < best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// checkRegression gates doc against the baseline document: it returns
+// an error if the benchmark is missing on either side or the
+// current/baseline ratio exceeds maxRatio.
+func checkRegression(doc, baseline *Doc, name, metric string, maxRatio float64) error {
+	cur, ok := bestMetric(doc, name, metric)
+	if !ok {
+		return fmt.Errorf("%s %s missing from current run", name, metric)
+	}
+	base, ok := bestMetric(baseline, name, metric)
+	if !ok {
+		return fmt.Errorf("%s %s missing from baseline", name, metric)
+	}
+	if base <= 0 {
+		return fmt.Errorf("%s %s baseline is %v, cannot ratio", name, metric, base)
+	}
+	ratio := cur / base
+	fmt.Fprintf(os.Stderr, "benchjson: %s %s: current %.4g vs baseline %.4g (ratio %.3f, max %.3f)\n",
+		name, metric, cur, base, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("%s %s regressed: %.4g vs baseline %.4g exceeds max ratio %.3f",
+			name, metric, cur, base, maxRatio)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON document to gate against")
+	name := flag.String("name", "", "benchmark name to check against -baseline")
+	metric := flag.String("metric", "ns/op", "metric unit compared against -baseline")
+	maxRatio := flag.Float64("max-ratio", 1.10, "largest tolerated current/baseline ratio")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -119,12 +209,28 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if *out == "" && *baseline == "" {
 		os.Stdout.Write(enc)
-		return
+	} else if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Doc
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := checkRegression(doc, &base, *name, *metric, *maxRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -41,6 +41,61 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestMatchesName(t *testing.T) {
+	const want = "BenchmarkClockBatch/lanes-64"
+	for entry, match := range map[string]bool{
+		"BenchmarkClockBatch/lanes-64":    true, // recorded without suffix
+		"BenchmarkClockBatch/lanes-64-8":  true, // GOMAXPROCS suffix
+		"BenchmarkClockBatch/lanes-64-16": true,
+		"BenchmarkClockBatch/lanes-64-":   false,
+		"BenchmarkClockBatch/lanes-64-8b": false,
+		"BenchmarkClockBatch/lanes-640":   false,
+		"BenchmarkClockBatch/lanes-6":     false,
+	} {
+		if got := matchesName(entry, want); got != match {
+			t.Errorf("matchesName(%q, %q) = %v, want %v", entry, want, got, match)
+		}
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	mk := func(name string, vals ...float64) *Doc {
+		d := &Doc{}
+		for _, v := range vals {
+			d.Results = append(d.Results, Result{
+				Name: name, Runs: 1, Metrics: map[string]float64{"ns/lane-cycle": v},
+			})
+		}
+		return d
+	}
+	base := mk("BenchmarkClockBatch/lanes-64", 86.32)
+	// Duplicates collapse to the best run, -N suffixes are ignored.
+	cur := mk("BenchmarkClockBatch/lanes-64-8", 95.0, 88.1)
+	if err := checkRegression(cur, base, "BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10); err != nil {
+		t.Fatalf("within-budget run rejected: %v", err)
+	}
+	if err := checkRegression(mk("BenchmarkClockBatch/lanes-64", 99.0), base,
+		"BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10); err == nil {
+		t.Fatal("14%% regression accepted")
+	}
+	if err := checkRegression(cur, base, "BenchmarkClockBatch/lanes-64", "ns/op", 1.10); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+	if err := checkRegression(cur, &Doc{}, "BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10); err == nil {
+		t.Fatal("missing baseline entry accepted")
+	}
+}
+
+func TestParseMergesPackageHeaders(t *testing.T) {
+	doc, err := Parse(strings.NewReader("pkg: snowbma\npkg: snowbma/internal/core\npkg: snowbma\nBenchmarkX 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pkg != "snowbma, snowbma/internal/core" {
+		t.Fatalf("pkg merge: %q", doc.Pkg)
+	}
+}
+
 func TestParseRejectsMalformed(t *testing.T) {
 	doc, err := Parse(strings.NewReader("BenchmarkBroken abc 1 ns/op\nBenchmarkNoMetrics 5\n"))
 	if err != nil {
