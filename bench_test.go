@@ -6,6 +6,9 @@
 package snowbma
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -15,6 +18,7 @@ import (
 	"snowbma/internal/device"
 	"snowbma/internal/hdl"
 	"snowbma/internal/mapper"
+	"snowbma/internal/obs"
 	"snowbma/internal/snow3g"
 )
 
@@ -157,26 +161,59 @@ func BenchmarkEndToEndAttack(b *testing.B) {
 // reruns the batch width with a live telemetry handle (fresh tracer,
 // metrics registry, span per phase and per chunk) so batch-64 vs
 // batch-64-traced pins the observability overhead — the budget is <5%.
+// The streamed variant additionally publishes every span and progress
+// event onto an EventBus with one live SSE subscriber draining the
+// firehose over real HTTP (ISSUE 8): batch-64 vs batch-64-streamed pins
+// the full live-streaming overhead against the same <5% budget.
 func BenchmarkAttackEndToEnd(b *testing.B) {
 	u, _, _ := fixtures(b)
 	for _, bc := range []struct {
-		name   string
-		lanes  int
-		traced bool
+		name     string
+		lanes    int
+		traced   bool
+		streamed bool
 	}{
-		{"scalar-1", 1, false},
-		{"batch-64", 64, false},
+		{"scalar-1", 1, false, false},
+		{"batch-64", 64, false, false},
 		// The two-word width: sweeps above 64 candidates collapse to
 		// half the fabric passes (ISSUE 7).
-		{"batch-128", 128, false},
-		{"batch-64-traced", 64, true},
+		{"batch-128", 128, false, false},
+		{"batch-64-traced", 64, true, false},
+		{"batch-64-streamed", 64, true, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			var bus *obs.EventBus
+			if bc.streamed {
+				bus = obs.NewEventBus(obs.DefaultEventBuffer)
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					obs.ServeSSE(w, r, bus, obs.SSEOptions{})
+				}))
+				resp, err := http.Get(srv.URL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				drained := make(chan struct{})
+				go func() {
+					io.Copy(io.Discard, resp.Body)
+					close(drained)
+				}()
+				b.Cleanup(func() {
+					bus.Close() // ends the SSE stream, then the server
+					<-drained
+					resp.Body.Close()
+					srv.Close()
+				})
+				b.ResetTimer()
+			}
 			for i := 0; i < b.N; i++ {
 				var rep *Report
 				var err error
 				if bc.traced {
-					rep, err = RunAttackTraced(u, PaperIV, nil, bc.lanes, NewTelemetry())
+					tel := NewTelemetry()
+					if bus != nil {
+						tel.AttachBus(bus, "bench")
+					}
+					rep, err = RunAttackTraced(u, PaperIV, nil, bc.lanes, tel)
 				} else {
 					rep, err = RunAttackLanes(u, PaperIV, nil, bc.lanes)
 				}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +31,7 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 0, "bounded job-queue depth (0 = 16)")
 	cache := fs.Int("cache", 0, "victim build-cache capacity (0 = default)")
 	drain := fs.Duration("drain", time.Minute, "graceful-shutdown drain deadline")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	quiet := fs.Bool("q", false, "suppress job lifecycle logging")
 	_ = fs.Parse(args)
 	for _, f := range []struct {
@@ -54,16 +56,31 @@ func cmdServe(args []string) error {
 	}
 	return serveOn(ln, service.Config{
 		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, Logf: logf,
-	}, *drain, logf, nil)
+	}, *drain, *pprofOn, logf, nil)
 }
 
 // serveOn runs the engine's HTTP handler on an already-bound listener
 // until a termination signal (or a send on stop, which tests use in
-// place of SIGINT), then drains the job queue within the deadline.
+// place of SIGINT), then drains the job queue within the deadline. When
+// pprofOn is set, the Go profiling endpoints mount under /debug/pprof/
+// (explicit registrations on the engine mux — nothing rides the
+// package-global DefaultServeMux, and nothing is exposed by default).
 func serveOn(ln net.Listener, cfg service.Config, drain time.Duration,
-	logf func(string, ...any), stop chan os.Signal) error {
+	pprofOn bool, logf func(string, ...any), stop chan os.Signal) error {
 	eng := service.New(cfg)
-	srv := &http.Server{Handler: eng.Handler()}
+	handler := eng.Handler()
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+		handler = mux
+		logf("pprof profiling enabled under /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	if stop == nil {
 		stop = make(chan os.Signal, 1)
 	}
@@ -86,12 +103,20 @@ func serveOn(ln net.Listener, cfg service.Config, drain time.Duration,
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	// Stop accepting connections first, then drain queued/running jobs.
-	if err := srv.Shutdown(ctx); err != nil {
-		logf("http shutdown: %v", err)
-	}
+	// srv.Shutdown closes the listener immediately but then blocks until
+	// every active connection finishes — and live SSE streams only end
+	// when the engine drain closes the event bus. Run both shutdowns
+	// concurrently: no new connections are accepted while the drain
+	// finishes the jobs, then the bus close ends the streams and the
+	// HTTP side completes.
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.Shutdown(ctx) }()
 	if err := eng.Shutdown(ctx); err != nil {
+		<-httpDone
 		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if err := <-httpDone; err != nil {
+		logf("http shutdown: %v", err)
 	}
 	logf("drained cleanly")
 	return nil

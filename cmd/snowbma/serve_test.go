@@ -42,7 +42,7 @@ func TestServeOnLifecycle(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- serveOn(ln, service.Config{Workers: 1, QueueDepth: 1},
-			time.Minute, func(string, ...any) {}, stop)
+			time.Minute, true, func(string, ...any) {}, stop)
 	}()
 
 	url := "http://" + ln.Addr().String()
@@ -66,6 +66,46 @@ func TestServeOnLifecycle(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	// -pprof mounted the profiling index alongside the API.
+	if resp, err := http.Get(url + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof index = %d, want 200", resp.StatusCode)
+		}
+	}
+	// The engine API still resolves through the wrapping mux.
+	if resp, err := http.Get(url + "/metrics"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics behind pprof mux = %d, want 200", resp.StatusCode)
+		}
+	}
+
+	// Hold a live SSE firehose connection across the shutdown: the drain
+	// must not wait for the stream to end on its own (the bus close ends
+	// it), so serveOn still returns promptly — the regression here was
+	// srv.Shutdown blocking on the SSE connection until the drain
+	// deadline before the engine ever closed the bus.
+	sseResp, err := http.Get(url + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	sseClosed := make(chan struct{})
+	go func() {
+		defer close(sseClosed)
+		buf := make([]byte, 1024)
+		for {
+			if _, err := sseResp.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
 	stop <- os.Interrupt
 	select {
 	case err := <-done:
@@ -74,5 +114,10 @@ func TestServeOnLifecycle(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("serveOn did not return after the stop signal")
+	}
+	select {
+	case <-sseClosed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after shutdown")
 	}
 }

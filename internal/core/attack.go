@@ -484,6 +484,9 @@ func (a *Attack) verifyZPathWith(zfn boolfn.TT) error {
 		}
 		confirmed = append(confirmed, ConfirmedLUT{Match: m, Bit: bit, KeepVar: -1})
 	}
+	a.tel.Publish(obs.EventProgress, "attack.verify_zpath", float64(len(confirmed)),
+		obs.KV("candidates", len(cands)), obs.KV("confirmed", len(confirmed)),
+		obs.KV("eliminated", len(cands)-len(confirmed)))
 	if len(confirmed) != 32 {
 		return fmt.Errorf("core: z path verification confirmed %d LUTs, want 32", len(confirmed))
 	}
@@ -797,6 +800,9 @@ func (a *Attack) resolveBetaPruned(matches []Match, specOf []muxSpec, applyAlpha
 		}
 		span.SetAttr("hypothesis", a.rep.MuxHypothesis)
 		span.SetAttr("excluded", len(skip))
+		a.tel.Publish(obs.EventProgress, "attack.resolve_beta", float64(len(kept)),
+			obs.KV("candidates", len(matches)), obs.KV("survivors", len(kept)),
+			obs.KV("eliminated", len(skip)))
 		a.log.Infof("key-independent keystream confirmed against software model (%s, %d candidates excluded)",
 			a.rep.MuxHypothesis, len(skip))
 		return &betaState{matches: kept, specs: keptSpecs, sel1: sel1, excluded: len(skip)}, nil

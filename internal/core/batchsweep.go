@@ -194,6 +194,9 @@ type sweep struct {
 	// candidate of chunk k. Fixed at sweep creation from the width the
 	// attack ran with at that point.
 	starts []int
+	// completed counts evaluated candidates, so chunk progress events
+	// carry done/total without rescanning the done slice.
+	completed int
 }
 
 func (a *Attack) newSweep(count, n int, build func(int, []byte)) *sweep {
@@ -252,6 +255,7 @@ func (s *sweep) scalar(i int) {
 	s.build(i, img)
 	s.z[i], s.errs[i] = s.a.runCandidate(img, s.n)
 	s.done[i] = true
+	s.completed++
 }
 
 func (s *sweep) eval(i int) {
@@ -265,6 +269,14 @@ func (s *sweep) eval(i int) {
 	span := s.a.tel.StartSpan("sweep.chunk",
 		obs.KV("lo", lo), obs.KV("hi", hi))
 	defer span.End()
+	// Each evaluated chunk reports sweep progress on the live bus: a
+	// dashboard sees done/total advance chunk by chunk while the sweep
+	// runs, long before the phase span closes.
+	defer func() {
+		s.a.tel.Publish(obs.EventProgress, "sweep.chunk", float64(s.completed),
+			obs.KV("total", len(s.done)), obs.KV("lo", lo), obs.KV("hi", hi),
+			obs.KV("fallbacks", s.a.rep.Batch.Fallbacks))
+	}()
 	var idxs []int
 	var patches []bitstream.PatchSet
 	for j := lo; j < hi; j++ {
@@ -281,6 +293,7 @@ func (s *sweep) eval(i int) {
 			s.a.rep.Batch.Fallbacks++
 			s.z[j], s.errs[j] = s.a.runCandidate(img, s.n)
 			s.done[j] = true
+			s.completed++
 			continue
 		}
 		idxs = append(idxs, j)
@@ -302,6 +315,7 @@ func (s *sweep) eval(i int) {
 	for k, j := range idxs {
 		s.z[j] = zs[k]
 		s.done[j] = true
+		s.completed++
 	}
 }
 

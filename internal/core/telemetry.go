@@ -26,6 +26,13 @@ import (
 //	bitstream.reseal.*          Resealer fast-path hits (live counters)
 //	bitstream.crc.*             CRCCache fast-path hits + checkpoints
 //	core.catalogue.*            process-wide catalogue cache (obs.Default)
+//
+// When a live event bus is attached (obs.Telemetry.AttachBus, done by
+// the service layer per job), the attack additionally publishes
+// progress events: "sweep.chunk" after each evaluated sweep chunk
+// (value = candidates done, attrs total/lo/hi/fallbacks) and
+// "attack.verify_zpath" / "attack.resolve_beta" elimination summaries
+// (attrs candidates/confirmed-or-survivors/eliminated).
 
 // SetTelemetry attaches a telemetry handle to the attack: phase spans,
 // the metrics registry, and (when tel.Log is set) the leveled logger

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventBusPublishAndSubscribe(t *testing.T) {
+	b := NewEventBus(16)
+	if seq := b.Publish(BusEvent{Type: EventJob, Name: "queued"}); seq != 1 {
+		t.Fatalf("first seq = %d", seq)
+	}
+	sub, backlog := b.SubscribeFrom(0, 4)
+	defer sub.Close()
+	if len(backlog) != 1 || backlog[0].Seq != 1 || backlog[0].Name != "queued" {
+		t.Fatalf("backlog = %+v", backlog)
+	}
+	b.Publish(BusEvent{Type: EventJob, Name: "running"})
+	select {
+	case ev := <-sub.C():
+		if ev.Seq != 2 || ev.Name != "running" {
+			t.Fatalf("live event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no live event")
+	}
+}
+
+func TestEventBusRingEviction(t *testing.T) {
+	b := NewEventBus(4)
+	for i := 0; i < 10; i++ {
+		b.Publish(BusEvent{Type: EventProgress})
+	}
+	_, backlog := b.SubscribeFrom(0, 1)
+	if len(backlog) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(backlog))
+	}
+	// Oldest events evicted: the ring holds seq 7..10 in order.
+	for i, ev := range backlog {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("backlog[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestEventBusResumeSemantics(t *testing.T) {
+	b := NewEventBus(32)
+	for i := 0; i < 5; i++ {
+		b.Publish(BusEvent{Type: EventProgress})
+	}
+	// Resume after seq 3: backlog is 4,5 only.
+	sub, backlog := b.SubscribeFrom(3, 1)
+	defer sub.Close()
+	if len(backlog) != 2 || backlog[0].Seq != 4 || backlog[1].Seq != 5 {
+		t.Fatalf("resume backlog = %+v", backlog)
+	}
+	// Live-only: after = Seq().
+	live, none := b.SubscribeFrom(b.Seq(), 1)
+	defer live.Close()
+	if len(none) != 0 {
+		t.Fatalf("live-only backlog = %+v", none)
+	}
+}
+
+func TestEventBusSlowSubscriberDropsWithoutBlocking(t *testing.T) {
+	b := NewEventBus(64)
+	sub, _ := b.SubscribeFrom(0, 2) // tiny buffer, never drained
+	defer sub.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			b.Publish(BusEvent{Type: EventProgress})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on slow subscriber")
+	}
+	if d := sub.Drops(); d != 98 {
+		t.Fatalf("sub drops = %d, want 98", d)
+	}
+	if d := b.Dropped(); d != 98 {
+		t.Fatalf("bus dropped = %d, want 98", d)
+	}
+}
+
+func TestEventBusCloseIsIdempotentAndTerminal(t *testing.T) {
+	b := NewEventBus(8)
+	sub, _ := b.SubscribeFrom(0, 1)
+	b.Close()
+	b.Close()
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("subscriber channel not closed on bus close")
+	}
+	if seq := b.Publish(BusEvent{Type: EventJob}); seq != 0 {
+		t.Fatalf("publish after close returned seq %d", seq)
+	}
+	// Subscribing to a closed bus yields a closed sub but the ring survives.
+	sub2, backlog := b.SubscribeFrom(0, 1)
+	if _, ok := <-sub2.C(); ok {
+		t.Fatal("sub on closed bus not closed")
+	}
+	if len(backlog) != 0 {
+		t.Fatalf("backlog on closed empty bus = %+v", backlog)
+	}
+	sub.Close() // must not panic after bus close
+}
+
+func TestEventBusNilSafe(t *testing.T) {
+	var b *EventBus
+	if seq := b.Publish(BusEvent{}); seq != 0 {
+		t.Fatal("nil bus publish")
+	}
+	if b.Seq() != 0 || b.Dropped() != 0 {
+		t.Fatal("nil bus accessors")
+	}
+	b.Close()
+	sub, backlog := b.SubscribeFrom(0, 1)
+	if backlog != nil {
+		t.Fatal("nil bus backlog")
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("nil bus sub not closed")
+	}
+}
+
+func TestEventBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewEventBus(128)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Publish(BusEvent{Type: EventProgress})
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, backlog := b.SubscribeFrom(0, 64)
+			defer sub.Close()
+			_ = backlog
+			deadline := time.After(2 * time.Second)
+			for i := 0; i < 50; i++ {
+				select {
+				case _, ok := <-sub.C():
+					if !ok {
+						return
+					}
+				case <-deadline:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Seq(); got != 2000 {
+		t.Fatalf("seq after concurrent publish = %d", got)
+	}
+}
+
+func TestTracerPublishesSpanEvents(t *testing.T) {
+	b := NewEventBus(64)
+	tel := New()
+	tel.AttachBus(b, "job-1")
+	root := tel.StartSpan("attack.run")
+	child := tel.StartSpan("attack.batch_scan", KV("lanes", 64))
+	child.SetAttr("passes", 3)
+	child.End()
+	root.End()
+
+	_, events := b.SubscribeFrom(0, 1)
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	}
+	// start(root), start(child), end(child), end(root)
+	if events[0].Type != EventSpanStart || events[0].Name != "attack.run" || events[0].Parent != 0 {
+		t.Fatalf("ev0 = %+v", events[0])
+	}
+	if events[1].Type != EventSpanStart || events[1].Name != "attack.batch_scan" ||
+		events[1].Parent != events[0].Span {
+		t.Fatalf("ev1 = %+v", events[1])
+	}
+	if events[1].Attrs["lanes"] != 64 {
+		t.Fatalf("start attrs = %+v", events[1].Attrs)
+	}
+	if events[2].Type != EventSpanEnd || events[2].Span != events[1].Span {
+		t.Fatalf("ev2 = %+v", events[2])
+	}
+	if events[2].Attrs["passes"] != 3 {
+		t.Fatalf("end attrs = %+v", events[2].Attrs)
+	}
+	if events[3].Type != EventSpanEnd || events[3].Span != events[0].Span {
+		t.Fatalf("ev3 = %+v", events[3])
+	}
+	for _, ev := range events {
+		if ev.Job != "job-1" {
+			t.Fatalf("event missing job tag: %+v", ev)
+		}
+	}
+}
+
+func TestTelemetryPublishNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.Publish(EventProgress, "sweep", 1) // must not panic
+	tel2 := New()
+	tel2.Publish(EventProgress, "sweep", 1) // no bus attached: no-op
+	b := NewEventBus(8)
+	tel2.AttachBus(b, "j")
+	tel2.Publish(EventProgress, "sweep.chunk", 42, KV("lo", 0), KV("hi", 64))
+	_, events := b.SubscribeFrom(0, 1)
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	ev := events[0]
+	if ev.Type != EventProgress || ev.Name != "sweep.chunk" || ev.Value != 42 ||
+		ev.Job != "j" || ev.Attrs["lo"] != 0 || ev.Attrs["hi"] != 64 {
+		t.Fatalf("published event = %+v", ev)
+	}
+}
+
+func TestMetricsStreamerFlushDeltas(t *testing.T) {
+	reg := NewRegistry()
+	b := NewEventBus(64)
+	ms := NewMetricsStreamer(reg, b, "job-7")
+
+	reg.Counter("attack.loads").Add(5)
+	reg.Gauge("scan.workers").Set(8)
+	reg.Histogram("ignored").Observe(1) // histograms are not streamed
+	if sent := ms.Flush(); sent != 2 {
+		t.Fatalf("first flush sent %d, want 2", sent)
+	}
+	if sent := ms.Flush(); sent != 0 {
+		t.Fatalf("unchanged flush sent %d, want 0", sent)
+	}
+	reg.Counter("attack.loads").Add(3)
+	if sent := ms.Flush(); sent != 1 {
+		t.Fatalf("delta flush sent %d, want 1", sent)
+	}
+	_, events := b.SubscribeFrom(0, 1)
+	if len(events) != 3 {
+		t.Fatalf("bus holds %d events, want 3", len(events))
+	}
+	last := events[2]
+	if last.Type != EventCounter || last.Name != "attack.loads" || last.Value != 8 ||
+		last.Attrs["delta"] != float64(3) || last.Job != "job-7" {
+		t.Fatalf("delta event = %+v", last)
+	}
+}
+
+func TestMetricsStreamerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	b := NewEventBus(64)
+	ms := NewMetricsStreamer(reg, b, "")
+	stop := ms.Start(5 * time.Millisecond)
+	reg.Counter("jobs.done").Inc()
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	reg.Counter("jobs.done").Inc()
+	before := b.Seq()
+	// stop already did its final flush; another manual flush picks up the
+	// post-stop increment, proving the final flush was synchronous.
+	ms.Flush()
+	if b.Seq() == before {
+		t.Fatal("post-stop increment not flushable")
+	}
+	_, events := b.SubscribeFrom(0, 1)
+	if len(events) < 2 {
+		t.Fatalf("expected at least 2 flush events, got %+v", events)
+	}
+}
+
+func TestRuntimeMetricsPoller(t *testing.T) {
+	reg := NewRegistry()
+	extraCalls := 0
+	stop := StartRuntimeMetrics(reg, time.Hour, func(r *Registry) {
+		extraCalls++
+		r.Gauge("service.queue_depth").Set(3)
+	})
+	defer stop()
+	// The synchronous first sample means values are visible immediately.
+	if v := reg.Gauge("runtime.goroutines").Value(); v < 1 {
+		t.Fatalf("runtime.goroutines = %v", v)
+	}
+	if v := reg.Gauge("runtime.heap_alloc_bytes").Value(); v <= 0 {
+		t.Fatalf("runtime.heap_alloc_bytes = %v", v)
+	}
+	if extraCalls != 1 {
+		t.Fatalf("extra sampler calls = %d", extraCalls)
+	}
+	if v := reg.Gauge("service.queue_depth").Value(); v != 3 {
+		t.Fatalf("extra gauge = %v", v)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -92,6 +92,13 @@ func WriteNDJSON(w io.Writer, tracer *Tracer, reg *Registry) error {
 			ev.Sum = m.Hist.Sum
 			ev.Min = m.Hist.Min
 			ev.Max = m.Hist.Max
+		case "bhist":
+			// Bucketed histograms export their aggregate as a schema-v1
+			// hist line (bucket detail is a /metrics concern; the trace
+			// format and its readers stay unchanged).
+			ev.Type = "hist"
+			ev.Count = m.Buckets.Count
+			ev.Sum = m.Buckets.Sum
 		default:
 			ev.Value = m.Value
 		}

@@ -110,6 +110,62 @@ func (h *Histogram) Value() HistValue {
 	return HistValue{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 }
 
+// BucketHistogram accumulates a distribution into fixed cumulative
+// buckets (job queue-wait, job run-time), exported in the Prometheus
+// histogram exposition (<name>_bucket{le="..."} / _sum / _count). The
+// bucket bounds are fixed at first registration.
+type BucketHistogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; an implicit +Inf follows
+	counts []int64   // len(bounds)+1; counts[len(bounds)] is the +Inf bucket
+	count  int64
+	sum    float64
+}
+
+// DurationBucketsMS is the default bucket ladder for millisecond
+// durations: sub-millisecond stub jobs up to minute-long campaigns.
+var DurationBucketsMS = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// Observe records one sample into its bucket.
+func (h *BucketHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// BucketValue is a bucketed-histogram snapshot. Counts are per-bucket
+// (not cumulative); the exporter accumulates.
+type BucketValue struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Value snapshots the histogram (zero for nil).
+func (h *BucketHistogram) Value() BucketValue {
+	if h == nil {
+		return BucketValue{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return BucketValue{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+}
+
 // Registry holds named metrics, get-or-create style. Safe for
 // concurrent use and on a nil receiver (returns nil metrics, whose
 // methods no-op).
@@ -118,6 +174,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	bhists   map[string]*BucketHistogram
 }
 
 // NewRegistry creates an empty registry.
@@ -126,6 +183,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		bhists:   map[string]*BucketHistogram{},
 	}
 }
 
@@ -174,13 +232,34 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// BucketHistogram returns (creating if needed) the named bucketed
+// histogram. buckets are the cumulative upper bounds; they are sorted
+// and fixed at first registration (later calls for the same name ignore
+// the argument, so concurrent registrations cannot disagree).
+func (r *Registry) BucketHistogram(name string, buckets []float64) *BucketHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.bhists[name]
+	if !ok {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		h = &BucketHistogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+		r.bhists[name] = h
+	}
+	return h
+}
+
 // Metric is one exported metric value. Exactly one of the kind-specific
 // value sets is meaningful, selected by Kind.
 type Metric struct {
-	Name  string
-	Kind  string // "counter", "gauge" or "hist"
-	Value float64
-	Hist  HistValue
+	Name    string
+	Kind    string // "counter", "gauge", "hist" or "bhist"
+	Value   float64
+	Hist    HistValue
+	Buckets BucketValue
 }
 
 // Snapshot returns every metric, sorted by (kind, name) for
@@ -190,7 +269,7 @@ func (r *Registry) Snapshot() []Metric {
 		return nil
 	}
 	r.mu.Lock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.bhists))
 	for name, c := range r.counters {
 		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
 	}
@@ -199,6 +278,9 @@ func (r *Registry) Snapshot() []Metric {
 	}
 	for name, h := range r.hists {
 		out = append(out, Metric{Name: name, Kind: "hist", Hist: h.Value()})
+	}
+	for name, h := range r.bhists {
+		out = append(out, Metric{Name: name, Kind: "bhist", Buckets: h.Value()})
 	}
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -76,7 +77,7 @@ func TestSnapshotDeterministic(t *testing.T) {
 		t.Fatalf("snapshot size %d", len(s1))
 	}
 	for i := range s1 {
-		if s1[i] != s2[i] {
+		if !reflect.DeepEqual(s1[i], s2[i]) {
 			t.Fatalf("snapshot not deterministic at %d: %+v vs %+v", i, s1[i], s2[i])
 		}
 	}

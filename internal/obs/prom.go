@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -11,68 +12,162 @@ import (
 // exposition format (text/plain; version 0.0.4), so a /metrics endpoint
 // can be scraped without a client library. Metric names translate by
 // replacing every '.' with '_' ("attack.loads" → "attack_loads");
-// counters gain a _total suffix, histograms export their count/sum
-// aggregate as a summary plus separate <name>_min and <name>_max gauge
-// families (the Registry histogram is deliberately bucket-free, and a
-// summary family may only carry _count/_sum samples, so min/max get
-// their own families).
+// counters gain a _total suffix, plain histograms export their
+// count/sum aggregate as a summary plus separate <name>_min and
+// <name>_max gauge families, and bucketed histograms export the full
+// histogram exposition (<name>_bucket{le="..."} / _sum / _count).
 //
-// Registries are written in argument order; when the same metric name
-// appears in several registries the values are summed first, so the
-// output never repeats a sample name (which scrapers reject).
+// Families are merged on their *exposition* name — after the dot
+// translation and kind suffixing — and emitted in sorted family order
+// with exactly one # TYPE line each. This is what keeps the output
+// scrape-stable: a gauge family created after the first scrape (or in a
+// later registry of a multi-registry merge) sorts into place with its
+// TYPE line instead of depending on registration order, and two metric
+// names that collide after translation ("jobs.done" and "jobs_done")
+// merge into one family instead of emitting a duplicate TYPE line and
+// repeated sample names, which scrapers reject. When the same metric
+// name appears in several registries the values are summed first. In
+// the pathological case of two different kinds claiming one family name
+// the lexicographically first kind wins and the other is dropped (a
+// duplicate family is a protocol violation either way).
 func WriteMetricsText(w io.Writer, regs ...*Registry) error {
 	type agg struct {
 		kind  string
 		value float64
 		hist  HistValue
+		bkt   BucketValue
 	}
+	// Merge pass: key on (kind, exposition base name) so same-kind
+	// collisions — across registries or via the dot translation — sum.
 	merged := map[string]*agg{}
-	var order []string
 	for _, r := range regs {
 		for _, m := range r.Snapshot() {
-			key := m.Kind + "\x00" + m.Name
+			name := strings.ReplaceAll(m.Name, ".", "_")
+			key := m.Kind + "\x00" + name
 			a, ok := merged[key]
 			if !ok {
 				a = &agg{kind: m.Kind}
 				merged[key] = a
-				order = append(order, key)
 			}
 			a.value += m.Value
-			// Snapshots with no observations carry zero Min/Max that
-			// mean "unset", not "observed 0" — merging them would
-			// clobber a populated accumulator's extremes.
-			if m.Kind == "hist" && m.Hist.Count > 0 {
-				if a.hist.Count == 0 || m.Hist.Min < a.hist.Min {
-					a.hist.Min = m.Hist.Min
+			switch m.Kind {
+			case "hist":
+				// Snapshots with no observations carry zero Min/Max that
+				// mean "unset", not "observed 0" — merging them would
+				// clobber a populated accumulator's extremes.
+				if m.Hist.Count > 0 {
+					if a.hist.Count == 0 || m.Hist.Min < a.hist.Min {
+						a.hist.Min = m.Hist.Min
+					}
+					if a.hist.Count == 0 || m.Hist.Max > a.hist.Max {
+						a.hist.Max = m.Hist.Max
+					}
+					a.hist.Count += m.Hist.Count
+					a.hist.Sum += m.Hist.Sum
 				}
-				if a.hist.Count == 0 || m.Hist.Max > a.hist.Max {
-					a.hist.Max = m.Hist.Max
+			case "bhist":
+				if a.bkt.Bounds == nil {
+					a.bkt = m.Buckets
+				} else if equalBounds(a.bkt.Bounds, m.Buckets.Bounds) {
+					for i := range a.bkt.Counts {
+						a.bkt.Counts[i] += m.Buckets.Counts[i]
+					}
+					a.bkt.Count += m.Buckets.Count
+					a.bkt.Sum += m.Buckets.Sum
 				}
-				a.hist.Count += m.Hist.Count
-				a.hist.Sum += m.Hist.Sum
+				// Mismatched bucket ladders under one name cannot merge
+				// meaningfully; the first registry's ladder wins.
 			}
 		}
 	}
-	bw := bufio.NewWriter(w)
-	for _, key := range order {
+	// Family pass: expand each merged metric into its exposition
+	// families (one TYPE line, then samples), dedupe by family name and
+	// sort for a deterministic scrape.
+	type family struct {
+		name    string
+		typ     string
+		samples []string
+	}
+	families := map[string]family{}
+	add := func(f family) {
+		if _, taken := families[f.name]; taken {
+			return // cross-kind family-name collision: first (sorted) wins
+		}
+		families[f.name] = f
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
 		a := merged[key]
-		name := strings.ReplaceAll(key[strings.IndexByte(key, 0)+1:], ".", "_")
-		var err error
+		name := key[strings.IndexByte(key, 0)+1:]
 		switch a.kind {
 		case "counter":
-			_, err = fmt.Fprintf(bw, "# TYPE %s_total counter\n%s_total %g\n", name, name, a.value)
+			add(family{name: name + "_total", typ: "counter",
+				samples: []string{fmt.Sprintf("%s_total %g", name, a.value)}})
 		case "gauge":
-			_, err = fmt.Fprintf(bw, "# TYPE %s gauge\n%s %g\n", name, name, a.value)
+			add(family{name: name, typ: "gauge",
+				samples: []string{fmt.Sprintf("%s %g", name, a.value)}})
 		case "hist":
-			_, err = fmt.Fprintf(bw,
-				"# TYPE %s summary\n%s_count %d\n%s_sum %g\n"+
-					"# TYPE %s_min gauge\n%s_min %g\n# TYPE %s_max gauge\n%s_max %g\n",
-				name, name, a.hist.Count, name, a.hist.Sum,
-				name, name, a.hist.Min, name, name, a.hist.Max)
+			add(family{name: name, typ: "summary", samples: []string{
+				fmt.Sprintf("%s_count %d", name, a.hist.Count),
+				fmt.Sprintf("%s_sum %g", name, a.hist.Sum),
+			}})
+			add(family{name: name + "_min", typ: "gauge",
+				samples: []string{fmt.Sprintf("%s_min %g", name, a.hist.Min)}})
+			add(family{name: name + "_max", typ: "gauge",
+				samples: []string{fmt.Sprintf("%s_max %g", name, a.hist.Max)}})
+		case "bhist":
+			f := family{name: name, typ: "histogram"}
+			cum := int64(0)
+			for i, bound := range a.bkt.Bounds {
+				cum += a.bkt.Counts[i]
+				f.samples = append(f.samples,
+					fmt.Sprintf("%s_bucket{le=%q} %d", name, formatBound(bound), cum))
+			}
+			f.samples = append(f.samples,
+				fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", name, a.bkt.Count),
+				fmt.Sprintf("%s_sum %g", name, a.bkt.Sum),
+				fmt.Sprintf("%s_count %d", name, a.bkt.Count))
+			add(f)
 		}
-		if err != nil {
+	}
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := families[n]
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ); err != nil {
 			return err
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintln(bw, s); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// formatBound renders a bucket bound the way Prometheus expects
+// (shortest float representation, no exponent for the usual ladders).
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
 }

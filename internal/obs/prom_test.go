@@ -79,3 +79,113 @@ func TestWriteMetricsTextEmptyHistogramMerge(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a gauge family created after the first scrape (here: the
+// second scrape sees a family the first did not) must still render with
+// its own # TYPE line, in sorted family order — not appended TYPE-less
+// at the tail, which is what registration-order emission produced when
+// several registries merged.
+func TestWriteMetricsTextLateFamilyGetsTypeLine(t *testing.T) {
+	procReg, jobReg := NewRegistry(), NewRegistry()
+	procReg.Counter("jobs.done").Inc()
+	var first strings.Builder
+	if err := WriteMetricsText(&first, procReg, jobReg); err != nil {
+		t.Fatal(err)
+	}
+	// Between scrapes a new gauge family appears in the second registry.
+	jobReg.Gauge("attack.candidates").Set(1077)
+	var second strings.Builder
+	if err := WriteMetricsText(&second, procReg, jobReg); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	if !strings.Contains(out, "# TYPE attack_candidates gauge\nattack_candidates 1077\n") {
+		t.Fatalf("late gauge family missing its TYPE line:\n%s", out)
+	}
+	// Sorted emission: the new family lands before jobs_done_total, so
+	// scrape order is stable regardless of creation time.
+	if strings.Index(out, "attack_candidates") > strings.Index(out, "jobs_done_total") {
+		t.Fatalf("family order not sorted:\n%s", out)
+	}
+	// Every family has exactly one TYPE line.
+	for _, fam := range []string{"attack_candidates", "jobs_done_total"} {
+		if n := strings.Count(out, "# TYPE "+fam+" "); n != 1 {
+			t.Fatalf("family %s has %d TYPE lines:\n%s", fam, n, out)
+		}
+	}
+}
+
+// Regression: names that collide after the dot translation ("jobs.done"
+// in one registry, "jobs_done" in another) must merge into one family —
+// one TYPE line, one summed sample — instead of emitting a duplicate
+// family that scrapers reject.
+func TestWriteMetricsTextTranslatedNameCollision(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("jobs.done").Add(2)
+	b.Counter("jobs_done").Add(3)
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE jobs_done_total counter"); n != 1 {
+		t.Fatalf("collision produced %d TYPE lines:\n%s", n, out)
+	}
+	if !strings.Contains(out, "jobs_done_total 5\n") {
+		t.Fatalf("collision samples not summed:\n%s", out)
+	}
+}
+
+func TestWriteMetricsTextBucketHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.BucketHistogram("service.job_run_ms", []float64{1, 2.5, 10})
+	h.Observe(0.4)
+	h.Observe(2)
+	h.Observe(2)
+	h.Observe(7)
+	h.Observe(500)
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE service_job_run_ms histogram\n",
+		`service_job_run_ms_bucket{le="1"} 1` + "\n",
+		`service_job_run_ms_bucket{le="2.5"} 3` + "\n",
+		`service_job_run_ms_bucket{le="10"} 4` + "\n",
+		`service_job_run_ms_bucket{le="+Inf"} 5` + "\n",
+		"service_job_run_ms_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "service_job_run_ms_sum 511.4\n") {
+		t.Fatalf("sum wrong in:\n%s", out)
+	}
+}
+
+// Same-name bucket histograms in merged registries sum per-bucket when
+// the ladders agree.
+func TestWriteMetricsTextBucketHistogramMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.BucketHistogram("wait", []float64{1, 5}).Observe(0.5)
+	b.BucketHistogram("wait", []float64{1, 5}).Observe(3)
+	b.BucketHistogram("wait", []float64{1, 5}).Observe(100)
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`wait_bucket{le="1"} 1` + "\n",
+		`wait_bucket{le="5"} 2` + "\n",
+		`wait_bucket{le="+Inf"} 3` + "\n",
+		"wait_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime profiling gauges: a background poller samples the Go runtime
+// into a Registry so the process's own health (goroutine count, heap,
+// GC behaviour) is scraped from /metrics next to the attack metrics.
+// Gauge names:
+//
+//	runtime.goroutines        current goroutine count
+//	runtime.heap_alloc_bytes  live heap bytes
+//	runtime.heap_objects      live heap objects
+//	runtime.gc_cycles         completed GC cycles
+//	runtime.gc_pause_ms       most recent GC stop-the-world pause
+//
+// The poller also invokes any extra sampler callbacks on each tick, so
+// callers can fold in app-level gauges that need active sampling (job
+// queue depth, victim-cache size) without running their own ticker.
+
+// DefaultRuntimePoll is the sampling cadence used when StartRuntimeMetrics
+// gets a non-positive interval.
+const DefaultRuntimePoll = 2 * time.Second
+
+// StartRuntimeMetrics begins polling runtime stats into reg every
+// interval, invoking each extra sampler on the same cadence. It samples
+// once synchronously before returning (so a scrape immediately after
+// startup sees values) and returns a stop function that halts the
+// poller; stop is idempotent and safe to call concurrently.
+func StartRuntimeMetrics(reg *Registry, interval time.Duration, extra ...func(*Registry)) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefaultRuntimePoll
+	}
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+		reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+		reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+		reg.Gauge("runtime.gc_cycles").Set(float64(ms.NumGC))
+		if ms.NumGC > 0 {
+			pause := ms.PauseNs[(ms.NumGC+255)%256]
+			reg.Gauge("runtime.gc_pause_ms").Set(float64(pause) / 1e6)
+		}
+		for _, fn := range extra {
+			if fn != nil {
+				fn(reg)
+			}
+		}
+	}
+	sample()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

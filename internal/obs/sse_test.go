@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sseRequest(ctx context.Context, lastEventID string) *http.Request {
+	r := httptest.NewRequest("GET", "/events", nil)
+	if lastEventID != "" {
+		r.Header.Set("Last-Event-ID", lastEventID)
+	}
+	return r.WithContext(ctx)
+}
+
+// terminalJob marks the job event that ends a per-job stream.
+func terminalJob(ev BusEvent) bool {
+	return ev.Type == EventJob && ev.Name == "done"
+}
+
+func TestServeSSEBacklogAndDone(t *testing.T) {
+	b := NewEventBus(32)
+	b.Publish(BusEvent{Type: EventJob, Job: "j1", Name: "queued"})
+	b.Publish(BusEvent{Type: EventSpanStart, Job: "j1", Name: "attack.run", Span: 1})
+	b.Publish(BusEvent{Type: EventJob, Job: "j1", Name: "done"})
+
+	rec := httptest.NewRecorder()
+	err := ServeSSE(rec, sseRequest(context.Background(), ""), b, SSEOptions{
+		Done: terminalJob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"id: 1\nevent: job\n", "id: 2\nevent: span_start\n", "id: 3\nevent: job\n",
+		`"name":"queued"`, `"name":"attack.run"`, `"name":"done"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServeSSELastEventIDResume(t *testing.T) {
+	b := NewEventBus(32)
+	for _, name := range []string{"queued", "running", "done"} {
+		b.Publish(BusEvent{Type: EventJob, Name: name})
+	}
+	rec := httptest.NewRecorder()
+	// Client saw up to seq 2; resume skips queued and running.
+	err := ServeSSE(rec, sseRequest(context.Background(), "2"), b, SSEOptions{
+		Done: terminalJob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := rec.Body.String()
+	if strings.Contains(body, `"queued"`) || strings.Contains(body, `"running"`) {
+		t.Fatalf("resumed stream replayed old events:\n%s", body)
+	}
+	if !strings.Contains(body, "id: 3\n") {
+		t.Fatalf("resumed stream missing seq 3:\n%s", body)
+	}
+}
+
+func TestServeSSEEpilogue(t *testing.T) {
+	b := NewEventBus(32)
+	b.Publish(BusEvent{Type: EventJob, Name: "queued"})
+	rec := httptest.NewRecorder()
+	// Job already terminal but its events were evicted: Epilogue
+	// synthesizes the terminal frame and closes the stream.
+	err := ServeSSE(rec, sseRequest(context.Background(), ""), b, SSEOptions{
+		Done:     terminalJob,
+		Epilogue: func() *BusEvent { return &BusEvent{Type: EventJob, Name: "done"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.Body.String(), `"name":"done"`) {
+		t.Fatalf("epilogue frame missing:\n%s", rec.Body.String())
+	}
+}
+
+func TestServeSSEFilter(t *testing.T) {
+	b := NewEventBus(32)
+	b.Publish(BusEvent{Type: EventJob, Job: "a", Name: "queued"})
+	b.Publish(BusEvent{Type: EventJob, Job: "b", Name: "queued"})
+	b.Publish(BusEvent{Type: EventJob, Job: "a", Name: "done"})
+	rec := httptest.NewRecorder()
+	err := ServeSSE(rec, sseRequest(context.Background(), ""), b, SSEOptions{
+		Filter: func(ev BusEvent) bool { return ev.Job == "a" },
+		Done:   terminalJob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rec.Body.String(), `"job":"b"`) {
+		t.Fatalf("filter leaked foreign job:\n%s", rec.Body.String())
+	}
+}
+
+func TestServeSSEHeartbeatAndClientDisconnect(t *testing.T) {
+	b := NewEventBus(32)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rec := httptest.NewRecorder()
+	err := ServeSSE(rec, sseRequest(ctx, ""), b, SSEOptions{
+		After:     SSEFromNow,
+		Heartbeat: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.Body.String(), ": hb\n\n") {
+		t.Fatalf("no heartbeat in idle stream:\n%s", rec.Body.String())
+	}
+}
+
+func TestServeSSEClosesOnBusClose(t *testing.T) {
+	b := NewEventBus(32)
+	done := make(chan error, 1)
+	rec := httptest.NewRecorder()
+	go func() {
+		done <- ServeSSE(rec, sseRequest(context.Background(), ""), b, SSEOptions{})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the stream go live
+	b.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream did not end on bus close")
+	}
+}
+
+func TestServeSSEDropsFrameForSlowSubscriber(t *testing.T) {
+	b := NewEventBus(1024)
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := httptest.NewRecorder()
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		close(started)
+		finished <- ServeSSE(rec, sseRequest(ctx, ""), b, SSEOptions{
+			After:  SSEFromNow,
+			Buffer: 1,
+		})
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	// Burst fast enough that a 1-deep subscriber must drop.
+	for i := 0; i < 5000; i++ {
+		b.Publish(BusEvent{Type: EventProgress, Name: "sweep.chunk"})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Dropped() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if b.Dropped() == 0 {
+		t.Skip("subscriber kept up; cannot exercise the drops frame")
+	}
+	time.Sleep(50 * time.Millisecond) // let the writer surface the drop
+	cancel()
+	if err := <-finished; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.Body.String(), "event: drops\n") {
+		t.Fatal("drops frame not written for slow subscriber")
+	}
+}
+
+// TestServeSSEOverHTTP runs the full stack: real server, real client,
+// live publishes, terminal close.
+func TestServeSSEOverHTTP(t *testing.T) {
+	b := NewEventBus(64)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = ServeSSE(w, r, b, SSEOptions{Done: terminalJob})
+	}))
+	defer srv.Close()
+
+	b.Publish(BusEvent{Type: EventJob, Name: "queued"})
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.Publish(BusEvent{Type: EventJob, Name: "running"})
+		b.Publish(BusEvent{Type: EventJob, Name: "done"})
+	}()
+	var names []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, `"type":"job"`) {
+			for _, n := range []string{"queued", "running", "done"} {
+				if strings.Contains(line, `"name":"`+n+`"`) {
+					names = append(names, n)
+				}
+			}
+		}
+	}
+	if got := strings.Join(names, ","); got != "queued,running,done" {
+		t.Fatalf("job lifecycle over SSE = %q", got)
+	}
+}

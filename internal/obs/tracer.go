@@ -20,9 +20,11 @@ func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
 // (time.Since on the monotonic clock), so a span can never report a
 // negative duration; an immediately-ended span reports zero.
 type Span struct {
-	name  string
-	start time.Time
-	off   time.Duration // start offset from the tracer epoch
+	name   string
+	start  time.Time
+	off    time.Duration // start offset from the tracer epoch
+	id     int           // tracer-local id (1-based), for live streaming
+	parent int           // parent span id (0 for roots)
 
 	mu       sync.Mutex
 	attrs    []Attr
@@ -30,6 +32,25 @@ type Span struct {
 	ended    bool
 	children []*Span
 	tracer   *Tracer
+}
+
+// ID returns the tracer-local span id (0 for a nil span). Ids are
+// assigned in StartSpan order; the live event stream uses them to carry
+// the tree shape incrementally (parent before child, always).
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// ParentID returns the id of the span this one nested under at start
+// time (0 for roots and nil spans).
+func (s *Span) ParentID() int {
+	if s == nil {
+		return 0
+	}
+	return s.parent
 }
 
 // Name returns the span name ("" for a nil span).
@@ -116,10 +137,19 @@ func (s *Span) End() {
 		d = 0 // monotonic clock should prevent this; belt and braces
 	}
 	s.dur = d
+	attrs := append([]Attr(nil), s.attrs...)
 	t := s.tracer
 	s.mu.Unlock()
 	if t != nil {
 		t.pop(s)
+		t.publish(BusEvent{
+			Type:   EventSpanEnd,
+			Name:   s.name,
+			Span:   s.id,
+			Parent: s.parent,
+			DurUS:  float64(d.Nanoseconds()) / 1e3,
+			Attrs:  attrMap(attrs),
+		})
 	}
 }
 
@@ -132,14 +162,45 @@ func (s *Span) End() {
 type Tracer struct {
 	epoch time.Time
 
-	mu    sync.Mutex
-	roots []*Span
-	open  []*Span // innermost last
+	mu     sync.Mutex
+	roots  []*Span
+	open   []*Span // innermost last
+	nextID int
+	bus    *EventBus
+	busJob string
 }
 
 // NewTracer creates a tracer whose epoch is now.
 func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now()}
+}
+
+// SetBus attaches a live event bus: from now on every StartSpan/End
+// publishes a span_start/span_end event tagged with job. The span_start
+// events are published under the tracer lock, so their order on the bus
+// matches the child order of the span tree — a consumer can rebuild the
+// exact tree the NDJSON export will later serialize. A nil bus
+// detaches.
+func (t *Tracer) SetBus(bus *EventBus, job string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.bus = bus
+	t.busJob = job
+	t.mu.Unlock()
+}
+
+// publish forwards a span event to the attached bus, stamping the job.
+func (t *Tracer) publish(ev BusEvent) {
+	t.mu.Lock()
+	bus, job := t.bus, t.busJob
+	t.mu.Unlock()
+	if bus == nil {
+		return
+	}
+	ev.Job = job
+	bus.Publish(ev)
 }
 
 // StartSpan opens a span named name. Returns nil on a nil tracer.
@@ -156,8 +217,11 @@ func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
 		tracer: t,
 	}
 	t.mu.Lock()
+	t.nextID++
+	s.id = t.nextID
 	if n := len(t.open); n > 0 {
 		parent := t.open[n-1]
+		s.parent = parent.id
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
@@ -165,6 +229,17 @@ func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
 		t.roots = append(t.roots, s)
 	}
 	t.open = append(t.open, s)
+	if t.bus != nil {
+		// Published inside the lock: bus order == sibling order.
+		t.bus.Publish(BusEvent{
+			Type:   EventSpanStart,
+			Job:    t.busJob,
+			Name:   name,
+			Span:   s.id,
+			Parent: s.parent,
+			Attrs:  attrMap(attrs),
+		})
+	}
 	t.mu.Unlock()
 	return s
 }

@@ -18,6 +18,11 @@ import (
 //	GET    /jobs/{id}/result terminal job's result (409 while queued/running)
 //	GET    /jobs/{id}/trace  terminal job's NDJSON telemetry trace
 //	DELETE /jobs/{id}       cancel (idempotent; 202 with the new status)
+//	GET    /jobs/{id}/events one job's live SSE event stream (replays the
+//	                        ring from the start of the job, then follows
+//	                        live until the job goes terminal)
+//	GET    /events          firehose SSE stream of every bus event
+//	                        (live-only unless Last-Event-ID resumes)
 //	GET    /healthz         liveness + queue occupancy (503 when draining)
 //	GET    /metrics         Prometheus text format (engine + process registries)
 func (e *Engine) Handler() http.Handler {
@@ -27,7 +32,9 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", e.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", e.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", e.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/events", e.handleJobEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", e.handleCancel)
+	mux.HandleFunc("GET /events", e.handleEvents)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	return mux
@@ -176,4 +183,58 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WriteMetricsText(w, e.tel.Metrics, obs.Default()) //nolint:errcheck
+}
+
+// terminalStateName reports whether a job-event name is a terminal
+// lifecycle state.
+func terminalStateName(name string) bool {
+	switch name {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// handleEvents is the firehose: every bus event, live-only by default
+// (a reconnecting client resumes from its Last-Event-ID). The stream
+// runs until the client disconnects or the engine shuts down.
+func (e *Engine) handleEvents(w http.ResponseWriter, r *http.Request) {
+	e.serveSSE(w, r, obs.SSEOptions{After: obs.SSEFromNow})
+}
+
+// handleJobEvents streams one job's events: ring replay from the start
+// of the job (so a mid-job subscriber catches up), then live until the
+// terminal job event. For a job whose terminal event has already been
+// evicted from the ring, a synthetic terminal event closes the stream
+// instead of leaving the client waiting on history that will never
+// replay.
+func (e *Engine) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := e.Get(id); err != nil {
+		httpError(w, err)
+		return
+	}
+	e.serveSSE(w, r, obs.SSEOptions{
+		Filter: func(ev obs.BusEvent) bool { return ev.Job == id },
+		Done: func(ev obs.BusEvent) bool {
+			return ev.Type == obs.EventJob && terminalStateName(ev.Name)
+		},
+		Epilogue: func() *obs.BusEvent {
+			st, err := e.Get(id)
+			if err != nil || !terminalStateName(st.State) {
+				return nil // still live (or pruned): follow the bus
+			}
+			ev := obs.BusEvent{Type: obs.EventJob, Job: id, Name: st.State}
+			if st.Error != "" {
+				ev.Attrs = map[string]any{"error": st.Error}
+			}
+			return &ev
+		},
+	})
+}
+
+func (e *Engine) serveSSE(w http.ResponseWriter, r *http.Request, opt obs.SSEOptions) {
+	opt.Heartbeat = e.cfg.Heartbeat
+	e.tel.Counter("service.sse_streams").Inc()
+	obs.ServeSSE(w, r, e.bus, opt) //nolint:errcheck // stream is committed; nothing to signal
 }

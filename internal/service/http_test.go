@@ -178,6 +178,18 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		"service_jobs_done_total 1",
 		"# TYPE service_workers gauge",
 		"service_job_ms_count 1",
+		// Duration bucket histograms: queue wait and run time, full
+		// Prometheus histogram exposition with a +Inf bucket.
+		"# TYPE service_job_queue_wait_ms histogram",
+		"# TYPE service_job_run_ms histogram",
+		`service_job_queue_wait_ms_bucket{le="+Inf"} 1`,
+		`service_job_run_ms_bucket{le="+Inf"} 1`,
+		`service_job_run_ms_bucket{le="1"} `,
+		"service_job_run_ms_count 1",
+		"service_job_queue_wait_ms_count 1",
+		// Runtime profiling gauges from the background poller.
+		"# TYPE runtime_goroutines gauge",
+		"# TYPE runtime_heap_alloc_bytes gauge",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, text)

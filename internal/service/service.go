@@ -65,6 +65,16 @@ type Config struct {
 	RetainJobs int
 	// CacheSize bounds the victim build cache (0 = victim.DefaultCacheSize).
 	CacheSize int
+	// EventBuffer bounds the live event bus ring (0 = obs.DefaultEventBuffer).
+	EventBuffer int
+	// FlushInterval is the cadence at which counter/gauge changes stream
+	// onto the event bus (0 = obs.DefaultFlushInterval).
+	FlushInterval time.Duration
+	// Heartbeat is the SSE keep-alive cadence (0 = obs.DefaultHeartbeat).
+	Heartbeat time.Duration
+	// RuntimePoll is the runtime-profiling sample cadence
+	// (0 = obs.DefaultRuntimePoll).
+	RuntimePoll time.Duration
 	// Tel receives engine-level metrics and spans (nil = fresh handle).
 	Tel *obs.Telemetry
 	// Logf receives human-readable engine logs (nil = silent).
@@ -77,6 +87,15 @@ type Engine struct {
 	tel   *obs.Telemetry
 	logf  func(string, ...any)
 	cache *victim.Cache
+
+	// Live observability plane: every job lifecycle transition, span and
+	// flushed metric lands on bus; SSE endpoints subscribe to it. The
+	// background pollers (engine metric flusher, runtime profiler) stop
+	// and the bus closes when Shutdown's drain completes.
+	bus         *obs.EventBus
+	stopFlush   func()
+	stopRuntime func()
+	obsOnce     sync.Once
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -128,11 +147,63 @@ func New(cfg Config) *Engine {
 	e.execFn = e.exec
 	tel.Gauge("service.workers").Set(float64(cfg.Workers))
 	tel.Gauge("service.queue_depth").Set(float64(cfg.QueueDepth))
+	// Pre-register the duration histograms so their (empty) families show
+	// up on the very first /metrics scrape.
+	tel.BucketHistogram("service.job_queue_wait_ms", obs.DurationBucketsMS)
+	tel.BucketHistogram("service.job_run_ms", obs.DurationBucketsMS)
+
+	e.bus = obs.NewEventBus(cfg.EventBuffer)
+	e.stopFlush = obs.NewMetricsStreamer(tel.Metrics, e.bus, "").Start(cfg.FlushInterval)
+	e.stopRuntime = obs.StartRuntimeMetrics(tel.Metrics, cfg.RuntimePoll, e.sampleEngineGauges)
+
 	for w := 0; w < cfg.Workers; w++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
 	return e
+}
+
+// sampleEngineGauges folds app-level gauges that need active sampling
+// into the runtime poller's cadence: queue occupancy, victim-cache
+// size/hit counters and the bus-wide event drop total.
+func (e *Engine) sampleEngineGauges(reg *obs.Registry) {
+	e.mu.Lock()
+	queued := e.queuedLocked()
+	e.mu.Unlock()
+	reg.Gauge("service.jobs_queued").Set(float64(queued))
+	// Hit/miss/eviction counters stream live from the cache itself
+	// (victim.cache.*); only the current size needs polling.
+	reg.Gauge("victim.cache.size").Set(float64(e.cache.Len()))
+	reg.Counter("obs.events_dropped").Set(e.bus.Dropped())
+}
+
+// Bus exposes the live event bus (SSE endpoints and in-process
+// dashboards subscribe to it).
+func (e *Engine) Bus() *obs.EventBus { return e.bus }
+
+// publishJob emits a job lifecycle transition onto the event bus.
+func (e *Engine) publishJob(j *job, state string, attrs ...obs.Attr) {
+	ev := obs.BusEvent{Type: obs.EventJob, Job: j.id, Name: state}
+	for _, a := range attrs {
+		if ev.Attrs == nil {
+			ev.Attrs = map[string]any{}
+		}
+		ev.Attrs[a.Key] = a.Value
+	}
+	e.bus.Publish(ev)
+}
+
+// closeObs tears the observability plane down exactly once: the pollers
+// stop (the flusher's stop performs a final flush so terminal counter
+// values reach the stream), a service shutdown event is published, and
+// the bus closes — which ends every SSE stream.
+func (e *Engine) closeObs() {
+	e.obsOnce.Do(func() {
+		e.stopFlush()
+		e.stopRuntime()
+		e.bus.Publish(obs.BusEvent{Type: obs.EventService, Name: "shutdown"})
+		e.bus.Close()
+	})
 }
 
 // Submit validates the spec and enqueues a job. It never blocks: a full
@@ -173,8 +244,12 @@ func (e *Engine) Submit(spec JobSpec) (Status, error) {
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
+	// The job's own telemetry streams onto the engine bus tagged with the
+	// job id: spans live as they open/close, metrics at the flush cadence.
+	j.tel.AttachBus(e.bus, j.id)
 	e.tel.Counter("service.jobs_submitted").Inc()
 	e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
+	e.publishJob(j, StateQueued, obs.KV("kind", spec.Kind))
 	e.logf("service: %s submitted (%s)", j.id, spec.Kind)
 	return j.status(), nil
 }
@@ -220,12 +295,21 @@ func (e *Engine) run(j *job) {
 		j.cancel = func() { cancelTimeout(); base() }
 	}
 	e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
+	queueWaitMS := float64(j.started.Sub(j.submitted).Nanoseconds()) / 1e6
 	e.mu.Unlock()
+	e.tel.BucketHistogram("service.job_queue_wait_ms", obs.DurationBucketsMS).Observe(queueWaitMS)
+	e.publishJob(j, StateRunning, obs.KV("queue_wait_ms", queueWaitMS))
+
+	// Stream the job registry's counter/gauge movement while it runs;
+	// the stop below performs a final flush so terminal values land on
+	// the bus before the terminal job event does.
+	stopFlush := obs.NewMetricsStreamer(j.tel.Metrics, e.bus, j.id).Start(e.cfg.FlushInterval)
 
 	span := j.tel.StartSpan("service.job",
 		obs.KV("id", j.id), obs.KV("kind", j.spec.Kind))
 	result, err := e.runSafe(j)
 	span.End()
+	stopFlush()
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -244,10 +328,17 @@ func (e *Engine) run(j *job) {
 		j.err = err.Error()
 		e.tel.Counter("service.jobs_failed").Inc()
 	}
-	e.tel.Histogram("service.job_ms").Observe(float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6)
+	runMS := float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6
+	e.tel.Histogram("service.job_ms").Observe(runMS)
+	e.tel.BucketHistogram("service.job_run_ms", obs.DurationBucketsMS).Observe(runMS)
 	j.cancel() // release the context's resources
 	close(j.done)
 	e.markFinishedLocked(j)
+	terminalAttrs := []obs.Attr{obs.KV("run_ms", runMS)}
+	if j.err != "" {
+		terminalAttrs = append(terminalAttrs, obs.KV("error", j.err))
+	}
+	e.publishJob(j, j.state, terminalAttrs...)
 	e.logf("service: %s finished: %s", j.id, j.state)
 }
 
@@ -340,6 +431,7 @@ func (e *Engine) Cancel(id string) (Status, error) {
 		e.markFinishedLocked(j)
 		e.tel.Counter("service.jobs_cancelled").Inc()
 		e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
+		e.publishJob(j, StateCancelled, obs.KV("error", j.err))
 		e.logf("service: %s cancelled while queued", id)
 	case StateRunning:
 		j.cancel()
@@ -417,6 +509,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		e.closeObs()
 		e.logf("service: shutdown drained cleanly")
 		return nil
 	case <-ctx.Done():
@@ -431,6 +524,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}
 	e.mu.Unlock()
 	<-drained
+	e.closeObs()
 	e.logf("service: shutdown cancelled in-flight jobs at deadline")
 	return ErrDrainDeadline
 }

@@ -87,6 +87,13 @@ func (c *Cache) Stats() (hits, misses, evictions int) {
 	return c.hits, c.misses, c.evictions
 }
 
+// Len reports how many synthesized designs the cache currently holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 // Build returns a freshly programmed victim for cfg, synthesizing the
 // design only if no cache entry exists. Failed builds are cached too
 // (an unbuildable config stays unbuildable), but do not count against

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseStream builds a synthetic firehose byte stream from events, with a
+// heartbeat comment interleaved, the way internal/obs.ServeSSE frames it.
+func sseStream(t *testing.T, evs ...Event) string {
+	t.Helper()
+	var b strings.Builder
+	for i, ev := range evs {
+		if i == 1 {
+			b.WriteString(": hb\n\n")
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq > 0 {
+			b.WriteString("id: " + strconv.FormatUint(ev.Seq, 10) + "\n")
+		}
+		b.WriteString("event: " + ev.Type + "\n")
+		b.WriteString("data: " + string(data) + "\n\n")
+	}
+	return b.String()
+}
+
+func TestReadSSEDecodesFramesAndSkipsHeartbeats(t *testing.T) {
+	in := sseStream(t,
+		Event{Seq: 1, Type: "job", Job: "job-0001", Name: "queued", Attrs: map[string]any{"kind": "attack"}},
+		Event{Seq: 2, Type: "job", Job: "job-0001", Name: "running"},
+		Event{Type: "drops", Value: 7}, // synthetic, no id line
+	)
+	var frames []SSEFrame
+	if err := ReadSSE(strings.NewReader(in), func(f SSEFrame) error {
+		frames = append(frames, f)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("decoded %d frames, want 3: %+v", len(frames), frames)
+	}
+	if frames[0].ID != "1" || frames[0].Event != "job" {
+		t.Fatalf("frame 0 = %+v", frames[0])
+	}
+	if frames[2].ID != "" || frames[2].Event != "drops" {
+		t.Fatalf("drops frame = %+v", frames[2])
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(frames[0].Data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Job != "job-0001" || ev.Attrs["kind"] != "attack" {
+		t.Fatalf("round-tripped event = %+v", ev)
+	}
+}
+
+func TestReadSSEStopsOnCallbackError(t *testing.T) {
+	in := sseStream(t,
+		Event{Seq: 1, Type: "job", Name: "queued"},
+		Event{Seq: 2, Type: "job", Name: "running"},
+	)
+	calls := 0
+	err := ReadSSE(strings.NewReader(in), func(SSEFrame) error {
+		calls++
+		return errStop
+	})
+	if err != errStop || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want errStop after 1", err, calls)
+	}
+}
+
+var errStop = errors.New("stop")
+
+func TestModelJobLifecycleAndPhases(t *testing.T) {
+	m := NewModel(4)
+	now := time.Unix(1000, 0)
+	m.Apply(Event{Seq: 1, Type: "job", Job: "job-0001", Name: "queued",
+		Attrs: map[string]any{"kind": "attack"}}, now)
+	m.Apply(Event{Seq: 2, Type: "job", Job: "job-0001", Name: "running"}, now)
+	m.Apply(Event{Seq: 3, Type: "span_start", Job: "job-0001", Name: "service.job", Span: 1}, now)
+	m.Apply(Event{Seq: 4, Type: "span_start", Job: "job-0001", Name: "attack.run", Span: 2, Parent: 1}, now)
+
+	j := m.Jobs["job-0001"]
+	if j == nil || j.State != "running" || j.Kind != "attack" {
+		t.Fatalf("job view = %+v", j)
+	}
+	if j.Phase != "attack.run" {
+		t.Fatalf("phase = %q, want attack.run", j.Phase)
+	}
+
+	// Progress from the sweep.
+	m.Apply(Event{Seq: 5, Type: "progress", Job: "job-0001", Name: "sweep.chunk",
+		Value: 16, Attrs: map[string]any{"total": float64(64)}}, now)
+	if j.Done != 16 || j.Total != 64 {
+		t.Fatalf("progress = %v/%v, want 16/64", j.Done, j.Total)
+	}
+
+	// Ending the inner span falls back to the parent phase.
+	m.Apply(Event{Seq: 6, Type: "span_end", Job: "job-0001", Name: "attack.run",
+		Span: 2, Parent: 1, DurUS: 2500}, now)
+	if j.Phase != "service.job" {
+		t.Fatalf("phase after span_end = %q, want service.job", j.Phase)
+	}
+
+	m.Apply(Event{Seq: 7, Type: "job", Job: "job-0001", Name: "done",
+		Attrs: map[string]any{"run_ms": 3.5}}, now)
+	if j.State != "done" || j.RunMS != 3.5 {
+		t.Fatalf("terminal view = %+v", j)
+	}
+	if got := m.JobsPerSec(now, time.Minute); got != 1.0/60 {
+		t.Fatalf("jobs/sec = %v, want 1/60", got)
+	}
+	// The window slides: a minute later the terminal event has aged out.
+	if got := m.JobsPerSec(now.Add(2*time.Minute), time.Minute); got != 0 {
+		t.Fatalf("jobs/sec after window = %v, want 0", got)
+	}
+}
+
+func TestModelFleetGaugesAndDrops(t *testing.T) {
+	m := NewModel(4)
+	now := time.Unix(1000, 0)
+	m.Apply(Event{Seq: 1, Type: "gauge", Name: "service.jobs_queued", Value: 3}, now)
+	m.Apply(Event{Seq: 2, Type: "gauge", Name: "runtime.goroutines", Value: 12}, now)
+	m.Apply(Event{Seq: 3, Type: "gauge", Name: "runtime.heap_alloc_bytes", Value: 2 << 20}, now)
+	m.Apply(Event{Seq: 4, Type: "counter", Name: "obs.events_dropped", Value: 5}, now)
+	m.Apply(Event{Type: "drops", Value: 2}, now)
+	if m.QueueDepth != 3 || m.Goroutines != 12 || m.Dropped != 5 || m.SubDropped != 2 {
+		t.Fatalf("model = %+v", m)
+	}
+	// Unknown event types are ignored, not fatal (additive schema).
+	m.Apply(Event{Seq: 5, Type: "telemetry.v2"}, now)
+	if m.Seq != 5 || m.Events != 6 {
+		t.Fatalf("seq/events = %d/%d", m.Seq, m.Events)
+	}
+}
+
+func TestModelSlowestSpansBounded(t *testing.T) {
+	m := NewModel(3)
+	now := time.Unix(1000, 0)
+	for i, dur := range []float64{100, 900, 300, 700, 500} {
+		m.Apply(Event{Seq: uint64(i + 1), Type: "span_end", Name: "phase",
+			Job: "job-0001", Span: i + 1, DurUS: dur * 1000}, now)
+	}
+	if len(m.Slowest) != 3 {
+		t.Fatalf("kept %d spans, want 3", len(m.Slowest))
+	}
+	want := []float64{900, 700, 500}
+	for i, s := range m.Slowest {
+		if s.DurMS != want[i] {
+			t.Fatalf("slowest[%d] = %vms, want %v", i, s.DurMS, want[i])
+		}
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	m := NewModel(4)
+	now := time.Unix(1000, 0)
+	m.Apply(Event{Seq: 1, Type: "job", Job: "job-0001", Name: "queued",
+		Attrs: map[string]any{"kind": "attack"}}, now)
+	m.Apply(Event{Seq: 2, Type: "job", Job: "job-0001", Name: "running"}, now)
+	m.Apply(Event{Seq: 3, Type: "span_start", Job: "job-0001", Name: "attack.batch_scan", Span: 1}, now)
+	m.Apply(Event{Seq: 4, Type: "progress", Job: "job-0001", Name: "sweep.chunk",
+		Value: 32, Attrs: map[string]any{"total": float64(64)}}, now)
+	m.Apply(Event{Seq: 5, Type: "gauge", Name: "service.jobs_queued", Value: 2}, now)
+	m.Apply(Event{Seq: 6, Type: "span_end", Job: "job-0001", Name: "victim.build",
+		Span: 7, DurUS: 1234567}, now)
+	m.Apply(Event{Seq: 7, Type: "job", Job: "job-0002", Name: "failed",
+		Attrs: map[string]any{"kind": "census", "error": "spec: bad window", "run_ms": 4.2}}, now)
+
+	frame := Render(m, now)
+	for _, want := range []string{
+		"seq 7",
+		"queue 2",
+		"job-0001",
+		"running",
+		" 50%",
+		"attack.batch_scan",
+		"slowest spans",
+		"victim.build",
+		"1.23s",
+		"job-0002",
+		"failed",
+		"! spec: bad window",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// Running jobs sort above terminal ones.
+	if strings.Index(frame, "job-0001") > strings.Index(frame, "job-0002") {
+		t.Fatalf("running job not listed first:\n%s", frame)
+	}
+}
+
+func TestRenderEmptyModel(t *testing.T) {
+	frame := Render(NewModel(4), time.Unix(1000, 0))
+	if !strings.Contains(frame, "(none yet)") {
+		t.Fatalf("empty frame = %q", frame)
+	}
+}
+
+func TestProgressBarClamps(t *testing.T) {
+	if got := progressBar(-0.5, 10); got != "[..........]" {
+		t.Fatalf("underflow bar = %q", got)
+	}
+	if got := progressBar(1.5, 10); got != "[##########]" {
+		t.Fatalf("overflow bar = %q", got)
+	}
+	if got := progressBar(0.5, 10); got != "[#####.....]" {
+		t.Fatalf("half bar = %q", got)
+	}
+}
