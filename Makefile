@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test tier1 race bench bench-json bench-check trace-smoke campaign-smoke serve-smoke sse-smoke fuzz clean
+.PHONY: all build vet test tier1 race bench bench-json bench-check trace-smoke campaign-smoke serve-smoke sse-smoke fleet-smoke fuzz clean
 
 all: tier1
 
@@ -47,7 +47,13 @@ bench:
 # runs the traced attack with every event published onto the EventBus
 # and one SSE subscriber draining the firehose over real HTTP, so the
 # batch-64 vs batch-64-streamed ratio in BENCH_PR8.json pins the full
-# live-observability overhead (budget: <5%).
+# live-observability overhead (budget: <5%). PR9 adds fleet scaling:
+# BenchmarkFleetThroughput drives device-bound jobs (one modelled attack
+# rig per worker process, 300ms occupancy each) through the coordinator
+# at 1, 2 and 4 workers — jobs/sec at workers-4 must be ≥3x workers-1 —
+# and re-runs the single-process BenchmarkServiceThroughput so the
+# durable store + fairness scheduler's overhead shows against the PR5
+# baseline in the same file.
 BENCH_PR2 = BenchmarkAttackEndToEnd|BenchmarkCandidateSweep|BenchmarkClockBatch|BenchmarkScannerBatchVsSequential|BenchmarkFindLUT10MB
 BENCH_PR3 = BenchmarkAttackEndToEnd
 BENCH_PR4 = BenchmarkCampaignThroughput
@@ -55,19 +61,27 @@ BENCH_PR5 = BenchmarkServiceThroughput
 BENCH_PR6 = BenchmarkClockBatch|BenchmarkCandidateSweep|BenchmarkScannerBatchVsSequential
 BENCH_PR7 = BenchmarkClockBatch|BenchmarkCandidateSweep|BenchmarkAttackEndToEnd
 BENCH_PR8 = BenchmarkAttackEndToEnd
+BENCH_PR9 = BenchmarkServiceThroughput|BenchmarkFleetThroughput
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkAttackEndToEnd' -benchtime 10x . \
-		| $(GO) run ./tools/benchjson -o BENCH_PR8.json
-	@cat BENCH_PR8.json
+	{ $(GO) test -run xxx -bench 'BenchmarkServiceThroughput' -benchtime 10x ./internal/service/ ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleetThroughput' -benchtime 12x -timeout 20m ./internal/fleet/ ; } \
+		| $(GO) run ./tools/benchjson -o BENCH_PR9.json
+	@cat BENCH_PR9.json
 
-# bench-check is the regression gate on the compiled fabric's headline
-# figure: lanes-64 ns/lane-cycle must stay within 10% of the committed
-# PR6 baseline. Five counts, best run — the gate measures capability,
-# not scheduler noise on a shared box.
+# bench-check is the regression gate on two headline figures: the
+# compiled fabric's lanes-64 ns/lane-cycle must stay within 10% of the
+# committed PR6 baseline, and single-process service throughput must
+# stay within 35% of the PR5 baseline now that every job transition
+# also rides the durable store and the fairness scheduler. Multiple
+# counts, best run — the gate measures capability, not scheduler noise
+# on a shared box.
 bench-check:
 	$(GO) test -run xxx -bench 'BenchmarkClockBatch/lanes-64$$' -benchtime 5000x -count 5 . \
 		| $(GO) run ./tools/benchjson -baseline BENCH_PR6.json \
 			-name 'BenchmarkClockBatch/lanes-64' -metric ns/lane-cycle -max-ratio 1.10
+	$(GO) test -run xxx -bench 'BenchmarkServiceThroughput$$' -benchtime 10x -count 3 ./internal/service/ \
+		| $(GO) run ./tools/benchjson -baseline BENCH_PR5.json \
+			-name 'BenchmarkServiceThroughput' -metric ns/op -max-ratio 1.35
 
 # trace-smoke exercises the observability path end to end: run the
 # attack with -trace, then feed the NDJSON through the independent
@@ -109,6 +123,17 @@ sse-smoke:
 		-run 'TestJobEvents|TestFirehose|TestSlowSubscriber|TestSSEPhaseTree' \
 		./internal/service
 	$(GO) test -count=1 ./tools/obstop/
+
+# fleet-smoke is the crash-recovery exercise under the race detector:
+# real worker processes (the test binary re-execs itself) behind the
+# sharding coordinator, one worker SIGKILLed mid-campaign with live
+# jobs, its leases expiring and the jobs reassigned, the worker
+# restarting on the same durable store and rejoining — and every job
+# reaching a terminal state exactly once (the event log is audited for
+# duplicate terminal transitions).
+fleet-smoke:
+	$(GO) test -race -count=1 -v -timeout 5m \
+		-run 'TestFleetKillRestartSmoke|TestFleetLeaseReassignment' ./internal/fleet/
 
 # Short fuzz passes over the differential targets: the batch scanner
 # vs FindLUT, and the compiled fabric program vs the graph walker.

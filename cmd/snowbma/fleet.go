@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"snowbma/internal/fleet"
+)
+
+// cmdFleet runs the sharded-fleet coordinator: jobs submitted to its
+// HTTP API are routed across `snowbma serve` worker processes by
+// consistent hash of the victim design, with health checks, lease-based
+// ownership and reassignment when a worker dies. Workers are named
+// w0, w1, ... in the order given.
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8348", "coordinator listen address")
+	workersFlag := fs.String("workers", "", "comma-separated worker base URLs (or name=url pairs)")
+	health := fs.Duration("health", fleet.DefaultHealthInterval, "worker health-check interval")
+	lease := fs.Duration("lease", 0, "job lease TTL before reassignment (0 = 4x health interval)")
+	quiet := fs.Bool("q", false, "suppress fleet event logging")
+	_ = fs.Parse(args)
+	if *workersFlag == "" {
+		return fmt.Errorf("fleet: -workers required (comma-separated worker URLs; start them with `snowbma serve`)")
+	}
+	if *health <= 0 {
+		return fmt.Errorf("fleet: -health must be positive, got %v", *health)
+	}
+	workers := map[string]string{}
+	for i, part := range strings.Split(*workersFlag, ",") {
+		part = strings.TrimSpace(part)
+		name, url, ok := strings.Cut(part, "=")
+		if !ok {
+			name, url = fmt.Sprintf("w%d", i), part
+		}
+		if name == "" || url == "" {
+			return fmt.Errorf("fleet: bad -workers entry %q", part)
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		workers[name] = strings.TrimSuffix(url, "/")
+	}
+	logf := func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[fleet] "+f+"\n", a...) }
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	c := fleet.New(fleet.Config{
+		Workers:        workers,
+		HealthInterval: *health,
+		LeaseTTL:       *lease,
+		Logf:           logf,
+	})
+	srv := &http.Server{Handler: c.Handler()}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logf("coordinating %d workers on %s", len(workers), ln.Addr())
+
+	select {
+	case sig := <-stop:
+		logf("received %v, stopping", sig)
+	case err := <-errc:
+		c.Shutdown(context.Background()) //nolint:errcheck
+		return fmt.Errorf("fleet: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.Shutdown(ctx) }()
+	if err := c.Shutdown(ctx); err != nil {
+		<-httpDone
+		return fmt.Errorf("fleet: shutdown: %w", err)
+	}
+	if err := <-httpDone; err != nil {
+		logf("http shutdown: %v", err)
+	}
+	logf("stopped")
+	return nil
+}

@@ -13,7 +13,8 @@
 //	snowbma keystream  [-key ...] [-iv ...] [-n 16] [-stuck-init] [-stuck-gen] [-zero-lfsr]
 //	snowbma inspect    -bits file
 //	snowbma complexity [-m 32] [-bits 128]
-//	snowbma serve      [-addr host:port] [-workers N] [-queue N] [-drain 1m] [-q]
+//	snowbma serve      [-addr host:port] [-workers N] [-queue N] [-drain 1m] [-store dir] [-tenants a=3,b=1] [-rig-latency 300ms] [-q]
+//	snowbma fleet      -workers url1,url2,... [-addr host:port] [-health 250ms] [-lease 1s] [-q]
 package main
 
 import (
@@ -78,6 +79,8 @@ func main() {
 		err = cmdCampaign(args)
 	case "serve":
 		err = cmdServe(args)
+	case "fleet":
+		err = cmdFleet(args)
 	default:
 		usage()
 	}
@@ -107,7 +110,8 @@ commands:
   export      write the mapped design as BLIF and structural netlist
   complexity  countermeasure complexity analysis (Lemma VII-A)
   campaign    run a randomized attack campaign (optionally with chaos faults)
-  serve       run the attack-as-a-service HTTP job engine`)
+  serve       run the attack-as-a-service HTTP job engine
+  fleet       shard jobs across serve workers with crash recovery`)
 	os.Exit(2)
 }
 

@@ -10,10 +10,13 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"snowbma/internal/service"
+	"snowbma/internal/store"
 )
 
 // ErrServeFlag is the named validation error for serve's pool-shape
@@ -33,6 +36,9 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", time.Minute, "graceful-shutdown drain deadline")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	quiet := fs.Bool("q", false, "suppress job lifecycle logging")
+	storeDir := fs.String("store", "", "durable job store directory (WAL); restart replays incomplete jobs")
+	tenants := fs.String("tenants", "", "tenant contracts: name=weight[:maxqueued[:priority]],... (unlisted tenants get weight 1)")
+	rigLatency := fs.Duration("rig-latency", 0, "modelled per-job occupancy of one physical attack rig (0 = off)")
 	_ = fs.Parse(args)
 	for _, f := range []struct {
 		name string
@@ -50,13 +56,69 @@ func cmdServe(args []string) error {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	if *rigLatency < 0 {
+		return fmt.Errorf("serve: %w: -rig-latency must be non-negative, got %v", ErrServeFlag, *rigLatency)
+	}
+	tc, err := parseTenants(*tenants)
+	if err != nil {
+		return fmt.Errorf("serve: %w: -tenants: %v", ErrServeFlag, err)
+	}
+	cfg := service.Config{
+		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, Logf: logf,
+		Tenants: tc, RigLatency: *rigLatency,
+	}
+	if *storeDir != "" {
+		st, err := store.OpenDir(*storeDir)
+		if err != nil {
+			return fmt.Errorf("serve: open store: %w", err)
+		}
+		cfg.Store = st
+		logf("durable store at %s (%d records replayed on open)", st.Path(), st.Count())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	return serveOn(ln, service.Config{
-		Workers: *workers, QueueDepth: *queue, CacheSize: *cache, Logf: logf,
-	}, *drain, *pprofOn, logf, nil)
+	return serveOn(ln, cfg, *drain, *pprofOn, logf, nil)
+}
+
+// parseTenants decodes the -tenants flag: a comma-separated list of
+// name=weight[:maxqueued[:priority]] contracts.
+func parseTenants(s string) (map[string]service.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]service.TenantConfig{}
+	for _, part := range strings.Split(s, ",") {
+		name, contract, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("want name=weight[:maxqueued[:priority]], got %q", part)
+		}
+		fields := strings.Split(contract, ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("too many fields in %q", part)
+		}
+		var tc service.TenantConfig
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %v", part, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("%q: negative value", part)
+			}
+			switch i {
+			case 0:
+				tc.Weight = v
+			case 1:
+				tc.MaxQueued = v
+			case 2:
+				tc.Priority = v
+			}
+		}
+		out[name] = tc
+	}
+	return out, nil
 }
 
 // serveOn runs the engine's HTTP handler on an already-bound listener
@@ -67,7 +129,11 @@ func cmdServe(args []string) error {
 // package-global DefaultServeMux, and nothing is exposed by default).
 func serveOn(ln net.Listener, cfg service.Config, drain time.Duration,
 	pprofOn bool, logf func(string, ...any), stop chan os.Signal) error {
-	eng := service.New(cfg)
+	eng, err := service.Open(cfg)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
 	handler := eng.Handler()
 	if pprofOn {
 		mux := http.NewServeMux()

@@ -32,6 +32,9 @@ const (
 	EventJob       = "job"
 	EventProgress  = "progress"
 	EventService   = "service"
+	// EventFleet is produced by the fleet coordinator: worker joins and
+	// departures, lease grants, reassignments and shard-routing events.
+	EventFleet = "fleet"
 	// EventDrops is synthesized by the SSE writer (never stored in the
 	// ring): it tells one subscriber how many events it has lost so far.
 	EventDrops = "drops"

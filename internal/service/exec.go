@@ -30,7 +30,7 @@ func (e *Engine) buildVictim(ctx context.Context, j *job) (*victim.Victim, error
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrCancelled, err)
 	}
-	v, err := e.cache.Build(j.spec.Victim.config())
+	v, err := e.cache.Build(j.spec.Victim.Config())
 	if err != nil {
 		return nil, err
 	}

@@ -12,7 +12,8 @@ import (
 // Handler returns the engine's HTTP API:
 //
 //	POST   /jobs            submit a JobSpec → 202 Status
-//	                        (400 invalid spec, 429 queue full, 503 shutting down)
+//	                        (400 invalid spec, 429 queue full or tenant
+//	                        over quota, 503 shutting down)
 //	GET    /jobs            list job statuses
 //	GET    /jobs/{id}       one job's status
 //	GET    /jobs/{id}/result terminal job's result (409 while queued/running)
@@ -59,6 +60,11 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrSpec):
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrQuotaExceeded):
+		// Same 429 as a full queue, but the body names the tenant's
+		// quota so clients can tell "service busy" from "over my share".
 		w.Header().Set("Retry-After", "1")
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):

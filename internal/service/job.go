@@ -52,8 +52,11 @@ type VictimSpec struct {
 	Seed            int64      `json:"seed,omitempty"`
 }
 
-// config translates the wire spec into a victim build config.
-func (vs VictimSpec) config() victim.Config {
+// Config translates the wire spec into a victim build config. Exported
+// because the fleet coordinator derives its shard key from the same
+// translation (victim.Config.Fingerprint), so routing and execution can
+// never disagree about which design a job builds.
+func (vs VictimSpec) Config() victim.Config {
 	cfg := victim.Config{
 		Key:             vs.Key,
 		Protected:       vs.Protected,
@@ -85,6 +88,10 @@ type CampaignSpec struct {
 // JobSpec is the wire-format job submission.
 type JobSpec struct {
 	Kind string `json:"kind"`
+	// Tenant names the submitting tenant for fair scheduling: weights,
+	// quotas and priority classes come from Config.Tenants. Empty is
+	// the anonymous tenant, scheduled under the default contract.
+	Tenant string `json:"tenant,omitempty"`
 	// Victim and IV drive attack, census and findlut jobs.
 	Victim VictimSpec `json:"victim,omitempty"`
 	IV     snow3g.IV  `json:"iv,omitempty"`
@@ -133,6 +140,9 @@ func (s JobSpec) validate() error {
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("%w: timeout_ms must be non-negative, got %d", ErrSpec, s.TimeoutMS)
 	}
+	if len(s.Tenant) > 64 {
+		return fmt.Errorf("%w: tenant name longer than 64 bytes", ErrSpec)
+	}
 	return nil
 }
 
@@ -165,6 +175,10 @@ type job struct {
 	state  string
 	err    string
 	result any
+	// recovered marks a job re-enqueued from the durable store after a
+	// restart; the flag survives further snapshots so operators can tell
+	// replayed work from fresh submissions.
+	recovered bool
 
 	submitted time.Time
 	started   time.Time
@@ -178,10 +192,14 @@ type job struct {
 
 // Status is the wire-format job status view.
 type Status struct {
-	ID        string    `json:"id"`
-	Kind      string    `json:"kind"`
-	State     string    `json:"state"`
-	Error     string    `json:"error,omitempty"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// Recovered marks a job that was re-enqueued from the durable store
+	// after an engine restart.
+	Recovered bool   `json:"recovered,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
@@ -194,8 +212,10 @@ func (j *job) status() Status {
 	st := Status{
 		ID:        j.id,
 		Kind:      j.spec.Kind,
+		Tenant:    j.spec.Tenant,
 		State:     j.state,
 		Error:     j.err,
+		Recovered: j.recovered,
 		Submitted: j.submitted,
 	}
 	if !j.started.IsZero() {

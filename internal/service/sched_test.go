@@ -1,0 +1,236 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// schedJob builds the minimal job a raw scheduler test needs.
+func schedJob(tenant string) *job {
+	return &job{spec: JobSpec{Kind: KindAttack, Tenant: tenant}}
+}
+
+// TestSchedWeightedDispatch pins the stride math down exactly: with a
+// 10:1 weight split and both backlogs full, every 11-dispatch window
+// carries 10 heavy jobs and 1 light job. The scheduler is deterministic
+// once the backlog is static, so the test asserts exact counts, not a
+// statistical tolerance.
+func TestSchedWeightedDispatch(t *testing.T) {
+	contracts := map[string]TenantConfig{
+		"heavy": {Weight: 10},
+		"light": {Weight: 1},
+	}
+	s := newSched(100, func(name string) TenantConfig { return contracts[name] })
+	for i := 0; i < 20; i++ {
+		if err := s.push(schedJob("heavy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.push(schedJob("light")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heavy, light := 0, 0
+	for i := 0; i < 22; i++ {
+		j, ok := s.pop()
+		if !ok {
+			t.Fatal("pop returned closed with jobs still queued")
+		}
+		switch j.spec.Tenant {
+		case "heavy":
+			heavy++
+		case "light":
+			light++
+		}
+	}
+	if heavy != 20 || light != 2 {
+		t.Fatalf("22 dispatches split heavy=%d light=%d, want 20/2 under 10:1 weights", heavy, light)
+	}
+}
+
+// TestSchedPriorityClasses: a higher priority class is dispatched
+// strictly first, regardless of weights or arrival order.
+func TestSchedPriorityClasses(t *testing.T) {
+	contracts := map[string]TenantConfig{
+		"bulk":   {Weight: 10, Priority: 0},
+		"urgent": {Weight: 1, Priority: 1},
+	}
+	s := newSched(100, func(name string) TenantConfig { return contracts[name] })
+	for i := 0; i < 5; i++ {
+		if err := s.push(schedJob("bulk")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.push(schedJob("urgent")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for i := 0; i < 8; i++ {
+		j, _ := s.pop()
+		order = append(order, j.spec.Tenant)
+	}
+	want := []string{"urgent", "urgent", "urgent", "bulk", "bulk", "bulk", "bulk", "bulk"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want urgent jobs strictly first (%v)", order, want)
+		}
+	}
+}
+
+// TestTenantFairnessUnderLoad drives fairness through the whole engine:
+// a plug job pins the single worker, two tenants with 10:1 weights pile
+// up equal backlogs behind it, and the recorded execution order must
+// hand the heavy tenant ten slots for every one of the light tenant's.
+// A pure FIFO (the old global queue) would run all 20 heavy jobs before
+// a single light one only if heavy submitted first — and would starve
+// whichever tenant submitted last; the stride scheduler interleaves at
+// the weight ratio no matter the submission interleaving.
+func TestTenantFairnessUnderLoad(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var ran []string
+	cfg := Config{
+		Workers:    1,
+		QueueDepth: 64,
+		Tenants: map[string]TenantConfig{
+			"heavy": {Weight: 10},
+			"light": {Weight: 1},
+		},
+		execOverride: func(ctx context.Context, j *job) (any, error) {
+			if j.spec.Tenant == "" { // the plug job
+				<-release
+				return "ok", nil
+			}
+			mu.Lock()
+			ran = append(ran, j.spec.Tenant)
+			mu.Unlock()
+			return "ok", nil
+		},
+	}
+	e := New(cfg)
+	defer e.Shutdown(context.Background())
+
+	if _, err := e.Submit(JobSpec{Kind: KindAttack}); err != nil {
+		t.Fatal(err)
+	}
+	var last Status
+	for i := 0; i < 20; i++ {
+		// Interleave submissions so arrival order cannot fake fairness.
+		if _, err := e.Submit(JobSpec{Kind: KindAttack, Tenant: "light"}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.Submit(JobSpec{Kind: KindAttack, Tenant: "heavy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = st
+	}
+	close(release)
+	waitState(t, e, last.ID, StateDone)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) < 22 {
+		t.Fatalf("only %d tenant jobs ran", len(ran))
+	}
+	heavy, light := 0, 0
+	for _, tenant := range ran[:22] {
+		if tenant == "heavy" {
+			heavy++
+		} else {
+			light++
+		}
+	}
+	// The exact stride split is 20/2; allow one slot of slack for the
+	// plug job's own pass accounting.
+	if heavy < 19 || light > 3 {
+		t.Fatalf("first 22 dispatches split heavy=%d light=%d, want ~20/2 under 10:1 weights", heavy, light)
+	}
+}
+
+// TestTenantQuotas: a zero-weight tenant is barred outright, a
+// MaxQueued tenant is bounced at its cap, and both failures are
+// ErrQuotaExceeded — distinct from the global ErrQueueFull.
+func TestTenantQuotas(t *testing.T) {
+	fn, release := gate()
+	cfg := Config{
+		Workers:    1,
+		QueueDepth: 8,
+		Tenants: map[string]TenantConfig{
+			"banned": {Weight: 0},
+			"capped": {Weight: 1, MaxQueued: 1},
+		},
+		execOverride: fn,
+	}
+	e := New(cfg)
+	defer func() {
+		release()
+		e.Shutdown(context.Background())
+	}()
+
+	if _, err := e.Submit(JobSpec{Kind: KindAttack, Tenant: "banned"}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("zero-weight tenant Submit = %v, want ErrQuotaExceeded", err)
+	}
+	// Pin the worker so subsequent submissions stay queued.
+	plug, err := e.Submit(JobSpec{Kind: KindAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, plug.ID, StateRunning)
+	if _, err := e.Submit(JobSpec{Kind: KindAttack, Tenant: "capped"}); err != nil {
+		t.Fatalf("first capped job rejected: %v", err)
+	}
+	_, err = e.Submit(JobSpec{Kind: KindAttack, Tenant: "capped"})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota Submit = %v, want ErrQuotaExceeded", err)
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Fatal("quota rejection must not alias ErrQueueFull")
+	}
+}
+
+// TestQuotaHTTP429: the API maps ErrQuotaExceeded onto 429 with a body
+// that names the quota, so clients can tell it apart from a full queue.
+func TestQuotaHTTP429(t *testing.T) {
+	e := New(Config{
+		Workers:      1,
+		QueueDepth:   4,
+		Tenants:      map[string]TenantConfig{"banned": {Weight: 0}},
+		execOverride: instant,
+	})
+	defer e.Shutdown(context.Background())
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		bytes.NewBufferString(`{"kind":"attack","tenant":"banned"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "quota") {
+		t.Fatalf("error body %q does not name the quota", body.Error)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"snowbma/internal/core"
 	"snowbma/internal/obs"
+	"snowbma/internal/store"
 	"snowbma/internal/victim"
 )
 
@@ -75,10 +76,47 @@ type Config struct {
 	// RuntimePoll is the runtime-profiling sample cadence
 	// (0 = obs.DefaultRuntimePoll).
 	RuntimePoll time.Duration
+	// Store, when non-nil, makes the engine durable: every job
+	// lifecycle transition is appended to it, and Open replays it on
+	// startup — finished jobs stay queryable, incomplete jobs are
+	// re-enqueued. The engine owns the store from Open on and closes
+	// it during Shutdown. Engines with a Store must be built with
+	// Open, not New.
+	Store store.JobStore
+	// Tenants maps tenant names to their scheduling contracts
+	// (weights, quotas, priority classes). Tenants not listed get
+	// DefaultTenant (or DefaultTenantConfig when that is nil too).
+	Tenants map[string]TenantConfig
+	// DefaultTenant overrides the contract applied to unlisted
+	// tenants, including the anonymous "" tenant.
+	DefaultTenant *TenantConfig
+	// RigLatency models the per-job occupancy of one physical attack
+	// rig (bitstream programming + keystream capture on real hardware
+	// is device-bound, not CPU-bound). When nonzero, every job holds a
+	// worker slot for at least this long; fleet capacity benchmarks
+	// use it to measure scheduling overlap the way a hardware fleet
+	// would. 0 (the default) disables it.
+	RigLatency time.Duration
 	// Tel receives engine-level metrics and spans (nil = fresh handle).
 	Tel *obs.Telemetry
 	// Logf receives human-readable engine logs (nil = silent).
 	Logf func(string, ...any)
+
+	// execOverride substitutes the job body before workers start —
+	// the in-package recovery and fairness tests need it installed
+	// before the first recovered job can be dispatched.
+	execOverride func(ctx context.Context, j *job) (any, error)
+}
+
+// tenantConfig resolves one tenant's scheduling contract.
+func (cfg Config) tenantConfig(tenant string) TenantConfig {
+	if tc, ok := cfg.Tenants[tenant]; ok {
+		return tc
+	}
+	if cfg.DefaultTenant != nil {
+		return *cfg.DefaultTenant
+	}
+	return DefaultTenantConfig
 }
 
 // Engine is the job engine. Create with New, stop with Shutdown.
@@ -97,7 +135,7 @@ type Engine struct {
 	stopRuntime func()
 	obsOnce     sync.Once
 
-	queue chan *job
+	sched *sched
 	wg    sync.WaitGroup
 
 	mu       sync.Mutex
@@ -106,15 +144,35 @@ type Engine struct {
 	finished []string // terminal job ids, oldest first, for pruning
 	seq      int
 	closed   bool
+	// storeAppends counts records written since the last compaction;
+	// maybeCompactLocked folds the log back down when history outgrows
+	// the live job table.
+	storeAppends int
 
 	// execFn runs one job body; tests substitute it to make queue and
 	// lifecycle behavior deterministic without synthesizing victims.
 	execFn func(ctx context.Context, j *job) (any, error)
 }
 
-// New starts an engine: Workers goroutines consuming a QueueDepth-deep
-// job queue.
+// New starts a non-durable engine: Workers goroutines consuming a
+// QueueDepth-deep fair queue. Engines with a Config.Store must be
+// built with Open instead (New panics if recovery fails, since it has
+// no error to return).
 func New(cfg Config) *Engine {
+	e, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service.New with a store: %v (use service.Open)", err))
+	}
+	return e
+}
+
+// Open starts an engine. When cfg.Store is set, the store's record log
+// is replayed first: finished jobs come back queryable, incomplete
+// (queued or running at crash time) jobs are re-enqueued exactly once
+// under their original ids, and the log is compacted to the folded
+// snapshot. Workers start only after recovery completes, so a replayed
+// job can never race its own re-admission.
+func Open(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = min(runtime.NumCPU(), 4)
 	}
@@ -140,11 +198,14 @@ func New(cfg Config) *Engine {
 		tel:   tel,
 		logf:  logf,
 		cache: victim.NewCache(cfg.CacheSize),
-		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  map[string]*job{},
 	}
+	e.sched = newSched(cfg.QueueDepth, cfg.tenantConfig)
 	e.cache.Tel = tel
 	e.execFn = e.exec
+	if cfg.execOverride != nil {
+		e.execFn = cfg.execOverride
+	}
 	tel.Gauge("service.workers").Set(float64(cfg.Workers))
 	tel.Gauge("service.queue_depth").Set(float64(cfg.QueueDepth))
 	// Pre-register the duration histograms so their (empty) families show
@@ -156,11 +217,18 @@ func New(cfg Config) *Engine {
 	e.stopFlush = obs.NewMetricsStreamer(tel.Metrics, e.bus, "").Start(cfg.FlushInterval)
 	e.stopRuntime = obs.StartRuntimeMetrics(tel.Metrics, cfg.RuntimePoll, e.sampleEngineGauges)
 
+	if cfg.Store != nil {
+		if err := e.recover(); err != nil {
+			e.closeObs()
+			return nil, err
+		}
+	}
+
 	for w := 0; w < cfg.Workers; w++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
-	return e
+	return e, nil
 }
 
 // sampleEngineGauges folds app-level gauges that need active sampling
@@ -207,7 +275,9 @@ func (e *Engine) closeObs() {
 }
 
 // Submit validates the spec and enqueues a job. It never blocks: a full
-// queue is ErrQueueFull, a closed engine ErrShuttingDown.
+// queue is ErrQueueFull, an over-quota (or zero-weight) tenant is
+// ErrQuotaExceeded, a closed engine ErrShuttingDown. On a durable
+// engine the queued record is persisted before the job id is exposed.
 func (e *Engine) Submit(spec JobSpec) (Status, error) {
 	if err := spec.validate(); err != nil {
 		e.tel.Counter("service.jobs_invalid").Inc()
@@ -234,13 +304,31 @@ func (e *Engine) Submit(spec JobSpec) (Status, error) {
 		tel:       obs.New(),
 	}
 	j.ctx = ctx
-	select {
-	case e.queue <- j:
-	default:
+	if err := e.sched.push(j); err != nil {
 		cancel()
 		e.seq-- // the id was never exposed; reuse it
-		e.tel.Counter("service.jobs_rejected_full").Inc()
-		return Status{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth)
+		if errors.Is(err, ErrQuotaExceeded) {
+			e.tel.Counter("service.jobs_rejected_quota").Inc()
+		} else {
+			e.tel.Counter("service.jobs_rejected_full").Inc()
+		}
+		return Status{}, err
+	}
+	// Durability before visibility: the queued record (spec included)
+	// must be on the log before the id escapes, or a crash between
+	// Submit returning and the first transition would lose the job. A
+	// worker may already have popped j, but run() serializes on e.mu,
+	// so the record lands first either way.
+	if err := e.persistLocked(j, StateQueued); err != nil {
+		// The job is already in the fair queue; make it terminal so
+		// the worker that pops it skips execution.
+		j.state = StateCancelled
+		j.err = "store append failed: " + err.Error()
+		j.finished = time.Now()
+		j.cancel()
+		close(j.done)
+		e.tel.Counter("service.store_errors").Inc()
+		return Status{}, fmt.Errorf("service: persist queued job: %w", err)
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
@@ -248,9 +336,16 @@ func (e *Engine) Submit(spec JobSpec) (Status, error) {
 	// job id: spans live as they open/close, metrics at the flush cadence.
 	j.tel.AttachBus(e.bus, j.id)
 	e.tel.Counter("service.jobs_submitted").Inc()
+	if spec.Tenant != "" {
+		e.tel.Counter("service.tenant." + spec.Tenant + ".submitted").Inc()
+	}
 	e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
-	e.publishJob(j, StateQueued, obs.KV("kind", spec.Kind))
-	e.logf("service: %s submitted (%s)", j.id, spec.Kind)
+	queuedAttrs := []obs.Attr{obs.KV("kind", spec.Kind)}
+	if spec.Tenant != "" {
+		queuedAttrs = append(queuedAttrs, obs.KV("tenant", spec.Tenant))
+	}
+	e.publishJob(j, StateQueued, queuedAttrs...)
+	e.logf("service: %s submitted (%s, tenant %q)", j.id, spec.Kind, spec.Tenant)
 	return j.status(), nil
 }
 
@@ -268,7 +363,11 @@ func (e *Engine) queuedLocked() int {
 // worker consumes jobs until the queue is closed and drained.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for j := range e.queue {
+	for {
+		j, ok := e.sched.pop()
+		if !ok {
+			return
+		}
 		e.run(j)
 	}
 }
@@ -296,9 +395,25 @@ func (e *Engine) run(j *job) {
 	}
 	e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
 	queueWaitMS := float64(j.started.Sub(j.submitted).Nanoseconds()) / 1e6
+	if err := e.persistLocked(j, StateRunning); err != nil {
+		e.tel.Counter("service.store_errors").Inc()
+		e.logf("service: %s running-record append failed: %v", j.id, err)
+	}
 	e.mu.Unlock()
 	e.tel.BucketHistogram("service.job_queue_wait_ms", obs.DurationBucketsMS).Observe(queueWaitMS)
 	e.publishJob(j, StateRunning, obs.KV("queue_wait_ms", queueWaitMS))
+
+	if e.cfg.RigLatency > 0 {
+		// Model the physical rig occupancy: the slot is held for the
+		// programming/capture latency even though the simulator needs
+		// none. Cancellation still cuts the wait short.
+		t := time.NewTimer(e.cfg.RigLatency)
+		select {
+		case <-t.C:
+		case <-j.ctx.Done():
+			t.Stop()
+		}
+	}
 
 	// Stream the job registry's counter/gauge movement while it runs;
 	// the stop below performs a final flush so terminal values land on
@@ -331,6 +446,13 @@ func (e *Engine) run(j *job) {
 	runMS := float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6
 	e.tel.Histogram("service.job_ms").Observe(runMS)
 	e.tel.BucketHistogram("service.job_run_ms", obs.DurationBucketsMS).Observe(runMS)
+	if j.spec.Tenant != "" {
+		e.tel.Counter("service.tenant." + j.spec.Tenant + "." + j.state).Inc()
+	}
+	if err := e.persistLocked(j, j.state); err != nil {
+		e.tel.Counter("service.store_errors").Inc()
+		e.logf("service: %s terminal-record append failed: %v", j.id, err)
+	}
 	j.cancel() // release the context's resources
 	close(j.done)
 	e.markFinishedLocked(j)
@@ -360,6 +482,7 @@ func (e *Engine) markFinishedLocked(j *job) {
 		}
 		e.tel.Counter("service.jobs_pruned").Inc()
 	}
+	e.maybeCompactLocked()
 }
 
 // runSafe converts a job panic into a failed job instead of killing the
@@ -428,6 +551,10 @@ func (e *Engine) Cancel(id string) (Status, error) {
 		j.finished = time.Now()
 		j.cancel()
 		close(j.done)
+		if err := e.persistLocked(j, StateCancelled); err != nil {
+			e.tel.Counter("service.store_errors").Inc()
+			e.logf("service: %s cancel-record append failed: %v", id, err)
+		}
 		e.markFinishedLocked(j)
 		e.tel.Counter("service.jobs_cancelled").Inc()
 		e.tel.Gauge("service.jobs_queued").Set(float64(e.queuedLocked()))
@@ -498,7 +625,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true
-		close(e.queue)
+		e.sched.close()
 	}
 	e.mu.Unlock()
 
@@ -510,6 +637,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 		e.closeObs()
+		e.closeStore()
 		e.logf("service: shutdown drained cleanly")
 		return nil
 	case <-ctx.Done():
@@ -525,6 +653,18 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Unlock()
 	<-drained
 	e.closeObs()
+	e.closeStore()
 	e.logf("service: shutdown cancelled in-flight jobs at deadline")
 	return ErrDrainDeadline
+}
+
+// closeStore syncs and closes the durable store once the drain is over
+// (every terminal record has been appended by then).
+func (e *Engine) closeStore() {
+	if e.cfg.Store == nil {
+		return
+	}
+	if err := e.cfg.Store.Close(); err != nil {
+		e.logf("service: store close: %v", err)
+	}
 }

@@ -1,0 +1,190 @@
+// Package store is the durable job/result store behind the service
+// engine: every job lifecycle transition (queued → running → terminal)
+// is appended as a Record, and an engine that restarts replays the
+// records to rebuild its job table — finished jobs stay queryable,
+// incomplete jobs are re-enqueued, and nothing is lost or duplicated.
+//
+// Two implementations ship:
+//
+//   - Mem, an in-memory store for tests and for callers that want the
+//     engine's recovery machinery without a filesystem.
+//   - WAL, an append-only file of length-prefixed, checksummed JSON
+//     records with crash-tolerant replay (a torn tail is repaired, any
+//     deeper corruption surfaces as a typed error, never a panic) and
+//     snapshot compaction.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+)
+
+// Typed store errors. Decode/replay failures always wrap one of these,
+// so recovery code can distinguish "normal crash tail" from "the log is
+// damaged" without string matching.
+var (
+	// ErrClosed: the store has been closed; no further appends.
+	ErrClosed = errors.New("store: closed")
+	// ErrBadMagic: the file does not start with the WAL magic header —
+	// it is not a job log (or is a future incompatible version).
+	ErrBadMagic = errors.New("store: bad magic header")
+	// ErrTruncated: the log ends mid-record — the expected shape after
+	// a crash during an append. Open repairs it by truncating to the
+	// last complete record; Decode surfaces it to the caller.
+	ErrTruncated = errors.New("store: truncated record at log tail")
+	// ErrChecksum: a record frame is complete but its checksum does not
+	// match the payload — bit rot or an overwritten region, not a torn
+	// tail.
+	ErrChecksum = errors.New("store: record checksum mismatch")
+	// ErrRecordDecode: a record frame carried a checksum-valid payload
+	// that is not a valid JSON record.
+	ErrRecordDecode = errors.New("store: record payload decode failed")
+	// ErrSeqOrder: record sequence numbers must be strictly increasing;
+	// a duplicate or regressing seq means the log was stitched or
+	// double-written.
+	ErrSeqOrder = errors.New("store: record sequence out of order")
+	// ErrTooLarge: a record frame claims a payload larger than
+	// MaxRecordSize — treated as corruption, not an allocation request.
+	ErrTooLarge = errors.New("store: record length exceeds maximum")
+)
+
+// Record is one persisted job lifecycle transition. A job's history is
+// the ordered sequence of its records; the latest record wins when
+// folding history into current state. Spec is carried on queued records
+// (it is everything needed to re-run the job); Result and Error on
+// terminal ones.
+type Record struct {
+	// Seq is assigned by the store on Append: strictly increasing
+	// within one log, validated on replay.
+	Seq uint64 `json:"seq"`
+	// TimeUS is the append wall-clock time in microseconds since the
+	// Unix epoch (informational; replay does not interpret it).
+	TimeUS int64 `json:"t_us,omitempty"`
+	// Job is the engine-assigned job id ("job-0007").
+	Job string `json:"job"`
+	// State is the service job state this record transitions to.
+	State string `json:"state"`
+	// Tenant and Kind mirror the job spec for observability and for
+	// fair re-admission on recovery.
+	Tenant string `json:"tenant,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	// Recovered marks a queued record written by recovery replay
+	// (an incomplete job re-admitted after a restart).
+	Recovered bool `json:"recovered,omitempty"`
+	// Spec is the JSON-encoded service.JobSpec (queued records).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Error is the terminal error string (failed/cancelled records).
+	Error string `json:"error,omitempty"`
+	// Result is the JSON-encoded job result (done records).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobStore persists job lifecycle records. Implementations must be safe
+// for concurrent Append from multiple goroutines; Load and Compact are
+// called only from engine startup/maintenance paths.
+type JobStore interface {
+	// Append persists one record, assigns its sequence number and
+	// returns it.
+	Append(r Record) (uint64, error)
+	// Load returns every live record in append order.
+	Load() ([]Record, error)
+	// Compact atomically replaces the log contents with the given
+	// snapshot records (they are re-sequenced from 1). Callers pass the
+	// folded per-job state; history older than the snapshot is dropped.
+	Compact(snapshot []Record) error
+	// Close releases the store. Further Appends fail with ErrClosed.
+	Close() error
+}
+
+// Mem is the in-memory JobStore: a mutex-guarded record slice. It backs
+// engine tests and embeds the same seq discipline as the WAL.
+type Mem struct {
+	mu     sync.Mutex
+	recs   []Record
+	seq    uint64
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Append implements JobStore.
+func (m *Mem) Append(r Record) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	m.seq++
+	r.Seq = m.seq
+	m.recs = append(m.recs, r)
+	return r.Seq, nil
+}
+
+// Load implements JobStore.
+func (m *Mem) Load() ([]Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, len(m.recs))
+	copy(out, m.recs)
+	return out, nil
+}
+
+// Compact implements JobStore.
+func (m *Mem) Compact(snapshot []Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.recs = m.recs[:0]
+	m.seq = 0
+	for _, r := range snapshot {
+		m.seq++
+		r.Seq = m.seq
+		m.recs = append(m.recs, r)
+	}
+	return nil
+}
+
+// Close implements JobStore.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// FoldLatest reduces a record history to the latest record per job, in
+// first-seen job order. The engine's recovery and the WAL's compaction
+// both use it: the folded view is exactly the state a restarted engine
+// needs (terminal jobs keep their result/error; incomplete jobs keep
+// the spec from their queued record so they can be re-admitted).
+func FoldLatest(recs []Record) []Record {
+	idx := make(map[string]int, len(recs))
+	var out []Record
+	for _, r := range recs {
+		i, ok := idx[r.Job]
+		if !ok {
+			idx[r.Job] = len(out)
+			out = append(out, r)
+			continue
+		}
+		// Later records win, but the spec/tenant/kind captured at
+		// submission must survive the fold — running/terminal records
+		// do not repeat them.
+		prev := out[i]
+		if r.Spec == nil {
+			r.Spec = prev.Spec
+		}
+		if r.Tenant == "" {
+			r.Tenant = prev.Tenant
+		}
+		if r.Kind == "" {
+			r.Kind = prev.Kind
+		}
+		out[i] = r
+	}
+	return out
+}

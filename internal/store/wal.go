@@ -1,0 +1,346 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// WAL file layout:
+//
+//	8 bytes  magic "SNOWWAL1"
+//	repeated record frames:
+//	  4 bytes  big-endian payload length
+//	  4 bytes  IEEE CRC32 of the payload
+//	  N bytes  JSON-encoded Record
+//
+// Appends are single sequential writes, so a crash mid-append leaves at
+// most one incomplete frame at the tail — Open detects it (ErrTruncated
+// from DecodeLog), truncates the file back to the last complete record
+// and keeps going. A complete frame whose checksum does not match its
+// payload can not be produced by a torn append; it means the log bytes
+// were damaged after being written, and Open refuses the log with
+// ErrChecksum rather than silently dropping history.
+
+// walMagic identifies (and versions) the log format.
+var walMagic = []byte("SNOWWAL1")
+
+// MaxRecordSize bounds a single record payload (and therefore how much
+// a decoder will allocate on the say-so of a length field). A corrupt
+// length above it is ErrTooLarge, not an allocation.
+const MaxRecordSize = 16 << 20
+
+const frameHeaderSize = 8 // 4-byte length + 4-byte CRC32
+
+// EncodeLog renders records into the WAL byte format (magic included).
+// Sequence numbers are written as given; use it for tests and corpus
+// generation, not to bypass Append's sequencing.
+func EncodeLog(recs []Record) ([]byte, error) {
+	buf := append([]byte(nil), walMagic...)
+	for _, r := range recs {
+		frame, err := encodeFrame(r)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, frame...)
+	}
+	return buf, nil
+}
+
+func encodeFrame(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRecordDecode, err)
+	}
+	if len(payload) > MaxRecordSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// DecodeLog parses WAL bytes. It returns the records of the longest
+// valid prefix, the byte length of that prefix, and the typed error
+// that stopped the scan (nil when the whole input decoded). It never
+// panics, whatever the input: every failure mode maps onto one of
+// ErrBadMagic, ErrTruncated, ErrTooLarge, ErrChecksum, ErrRecordDecode
+// or ErrSeqOrder.
+func DecodeLog(data []byte) ([]Record, int, error) {
+	if len(data) < len(walMagic) {
+		if len(data) == 0 {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("%w: %d-byte file is shorter than the header", ErrBadMagic, len(data))
+	}
+	if string(data[:len(walMagic)]) != string(walMagic) {
+		return nil, 0, fmt.Errorf("%w: got %q", ErrBadMagic, data[:len(walMagic)])
+	}
+	var recs []Record
+	var lastSeq uint64
+	off := len(walMagic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			return recs, off, fmt.Errorf("%w: %d-byte partial frame header at offset %d",
+				ErrTruncated, len(rest), off)
+		}
+		n := int(binary.BigEndian.Uint32(rest[0:4]))
+		if n > MaxRecordSize {
+			return recs, off, fmt.Errorf("%w: frame at offset %d claims %d bytes", ErrTooLarge, off, n)
+		}
+		if len(rest) < frameHeaderSize+n {
+			return recs, off, fmt.Errorf("%w: frame at offset %d claims %d payload bytes, %d remain",
+				ErrTruncated, off, n, len(rest)-frameHeaderSize)
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+n]
+		if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(rest[4:8]); got != want {
+			return recs, off, fmt.Errorf("%w: frame at offset %d: crc %08x, want %08x",
+				ErrChecksum, off, got, want)
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return recs, off, fmt.Errorf("%w: frame at offset %d: %v", ErrRecordDecode, off, err)
+		}
+		if r.Seq <= lastSeq {
+			return recs, off, fmt.Errorf("%w: frame at offset %d: seq %d after %d",
+				ErrSeqOrder, off, r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+		recs = append(recs, r)
+		off += frameHeaderSize + n
+	}
+	return recs, off, nil
+}
+
+// WALOptions parameterize OpenWALOptions.
+type WALOptions struct {
+	// SyncEachAppend fsyncs the log after every append, extending the
+	// durability guarantee from "survives a process crash" (the kernel
+	// page cache holds unsynced writes through SIGKILL, the fault the
+	// fleet smoke test injects) to "survives power loss". Off by
+	// default: an fsync per lifecycle transition is measurable at
+	// fleet job rates.
+	SyncEachAppend bool
+}
+
+// WAL is the append-only file JobStore. Safe for concurrent Append.
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	opt    WALOptions
+	seq    uint64
+	count  int // records appended since open/compact (live frames)
+	closed bool
+
+	// RepairedBytes is the torn-tail byte count Open truncated away
+	// (0 for a clean log). Informational.
+	RepairedBytes int
+}
+
+// OpenWAL opens (or creates) the log at path with default options and
+// replays it far enough to resume sequencing. A torn tail from a crash
+// is repaired in place; deeper corruption is returned as a typed error.
+func OpenWAL(path string) (*WAL, error) { return OpenWALOptions(path, WALOptions{}) }
+
+// OpenWALOptions is OpenWAL with explicit options.
+func OpenWALOptions(path string, opt WALOptions) (*WAL, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	recs, valid, derr := DecodeLog(data)
+	repaired := 0
+	switch {
+	case derr == nil:
+	case errors.Is(derr, ErrTruncated):
+		// The expected crash shape: keep the valid prefix, drop the
+		// torn frame.
+		repaired = len(data) - valid
+	default:
+		return nil, fmt.Errorf("store: open %s: %w", path, derr)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	if len(data) == 0 {
+		if _, err := f.Write(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: write header %s: %w", path, err)
+		}
+		valid = len(walMagic)
+	}
+	if repaired > 0 {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: repair-truncate %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek %s: %w", path, err)
+	}
+	w := &WAL{f: f, path: path, opt: opt, count: len(recs), RepairedBytes: repaired}
+	if len(recs) > 0 {
+		w.seq = recs[len(recs)-1].Seq
+	}
+	return w, nil
+}
+
+// Append implements JobStore.
+func (w *WAL) Append(r Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	w.seq++
+	r.Seq = w.seq
+	if r.TimeUS == 0 {
+		r.TimeUS = time.Now().UnixMicro()
+	}
+	frame, err := encodeFrame(r)
+	if err != nil {
+		w.seq--
+		return 0, err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		// The tail may now hold a partial frame; the next Open repairs
+		// it. Do not advance past the failed record.
+		w.seq--
+		return 0, fmt.Errorf("store: append %s: %w", w.path, err)
+	}
+	if w.opt.SyncEachAppend {
+		if err := w.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: sync %s: %w", w.path, err)
+		}
+	}
+	w.count++
+	return r.Seq, nil
+}
+
+// Load implements JobStore: it re-reads the file, so records appended
+// after Open are included. A torn tail (crash between Open and Load —
+// possible only if an external writer shares the file) is tolerated the
+// same way Open tolerates it.
+func (w *WAL) Load() ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", w.path, err)
+	}
+	recs, _, derr := DecodeLog(data)
+	if derr != nil && !errors.Is(derr, ErrTruncated) {
+		return nil, fmt.Errorf("store: load %s: %w", w.path, derr)
+	}
+	return recs, nil
+}
+
+// Count reports how many live record frames the log holds (replayed at
+// open plus appended since). Compaction policy reads it.
+func (w *WAL) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Compact implements JobStore: the snapshot is written to a temp file
+// (re-sequenced from 1), fsynced and atomically renamed over the log.
+// A crash anywhere during Compact leaves either the old log or the new
+// one, never a mix.
+func (w *WAL) Compact(snapshot []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	for i := range snapshot {
+		snapshot[i].Seq = uint64(i + 1)
+	}
+	data, err := EncodeLog(snapshot)
+	if err != nil {
+		return err
+	}
+	tmp := w.path + ".compact"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact %s: %w", w.path, err)
+	}
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact write %s: %w", tmp, err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact sync %s: %w", tmp, err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact rename %s: %w", w.path, err)
+	}
+	// Re-open the append handle on the new inode; the old handle points
+	// at the unlinked pre-compact file.
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact reopen %s: %w", w.path, err)
+	}
+	w.f.Close()
+	w.f = f
+	w.seq = uint64(len(snapshot))
+	w.count = len(snapshot)
+	return nil
+}
+
+// Close implements JobStore. The log is synced on the way out so a
+// clean shutdown is durable even without SyncEachAppend.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	if serr != nil {
+		return fmt.Errorf("store: close-sync %s: %w", w.path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: close %s: %w", w.path, cerr)
+	}
+	return nil
+}
+
+// Path returns the log file path.
+func (w *WAL) Path() string { return w.path }
+
+// DefaultWALName is the log filename `serve -store DIR` and the fleet
+// coordinator use inside their store directories.
+const DefaultWALName = "jobs.wal"
+
+// OpenDir opens DIR/jobs.wal, creating the directory if needed — the
+// convenience entry the CLI uses.
+func OpenDir(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	return OpenWAL(filepath.Join(dir, DefaultWALName))
+}

@@ -1,0 +1,370 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func rec(seq uint64, job, state string) Record {
+	return Record{Seq: seq, Job: job, State: state, Kind: "attack", Tenant: "t"}
+}
+
+func mustEncode(t *testing.T, recs ...Record) []byte {
+	t.Helper()
+	data, err := EncodeLog(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDecodeLogRoundTrip(t *testing.T) {
+	in := []Record{
+		{Seq: 1, Job: "job-0001", State: "queued", Kind: "attack", Tenant: "acme",
+			Spec: json.RawMessage(`{"kind":"attack"}`)},
+		{Seq: 2, Job: "job-0001", State: "running"},
+		{Seq: 5, Job: "job-0001", State: "done", Result: json.RawMessage(`{"verified":true}`)},
+	}
+	recs, n, err := DecodeLog(mustEncode(t, in...))
+	if err != nil {
+		t.Fatalf("DecodeLog: %v", err)
+	}
+	if n != len(mustEncode(t, in...)) {
+		t.Fatalf("consumed %d bytes, want all", n)
+	}
+	if !reflect.DeepEqual(recs, in) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", recs, in)
+	}
+}
+
+func TestDecodeLogEmptyAndHeaderOnly(t *testing.T) {
+	if recs, _, err := DecodeLog(nil); err != nil || recs != nil {
+		t.Fatalf("empty input: %v %v", recs, err)
+	}
+	if recs, _, err := DecodeLog(mustEncode(t)); err != nil || recs != nil {
+		t.Fatalf("header-only input: %v %v", recs, err)
+	}
+}
+
+// TestDecodeLogCorruption is the table pinning every corruption class
+// onto its typed error: recovery code must be able to tell a crash tail
+// from damaged history, and none of these may panic.
+func TestDecodeLogCorruption(t *testing.T) {
+	base := mustEncode(t, rec(1, "job-0001", "queued"), rec(2, "job-0001", "done"))
+	headerLen := len(mustEncode(t))
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		wantErr  error
+		wantRecs int // records surviving in the valid prefix
+	}{
+		{
+			name:    "bad magic",
+			mutate:  func(b []byte) []byte { b[0] ^= 0xFF; return b },
+			wantErr: ErrBadMagic,
+		},
+		{
+			name:    "short file",
+			mutate:  func(b []byte) []byte { return b[:3] },
+			wantErr: ErrBadMagic,
+		},
+		{
+			name:     "truncated tail mid-payload",
+			mutate:   func(b []byte) []byte { return b[:len(b)-5] },
+			wantErr:  ErrTruncated,
+			wantRecs: 1,
+		},
+		{
+			name:     "truncated tail mid-header",
+			mutate:   func(b []byte) []byte { return b[:len(b)-3-frameLen(t, rec(2, "job-0001", "done"))+frameHeaderSize] },
+			wantErr:  ErrTruncated,
+			wantRecs: 1,
+		},
+		{
+			name: "bit-flipped payload fails checksum",
+			mutate: func(b []byte) []byte {
+				b[len(b)-2] ^= 0x01 // inside the final record's payload
+				return b
+			},
+			wantErr:  ErrChecksum,
+			wantRecs: 1,
+		},
+		{
+			name: "bit-flipped checksum field",
+			mutate: func(b []byte) []byte {
+				// First record's CRC byte: header + 4-byte len, then CRC.
+				b[headerLen+4] ^= 0x80
+				return b
+			},
+			wantErr:  ErrChecksum,
+			wantRecs: 0,
+		},
+		{
+			name: "absurd length field",
+			mutate: func(b []byte) []byte {
+				binary.BigEndian.PutUint32(b[headerLen:], uint32(MaxRecordSize+1))
+				return b
+			},
+			wantErr:  ErrTooLarge,
+			wantRecs: 0,
+		},
+		{
+			name: "duplicate seq",
+			mutate: func([]byte) []byte {
+				return mustEncode(t, rec(3, "job-0001", "queued"), rec(3, "job-0002", "queued"))
+			},
+			wantErr:  ErrSeqOrder,
+			wantRecs: 1,
+		},
+		{
+			name: "regressing seq",
+			mutate: func([]byte) []byte {
+				return mustEncode(t, rec(7, "job-0001", "queued"), rec(2, "job-0002", "queued"))
+			},
+			wantErr:  ErrSeqOrder,
+			wantRecs: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), base...))
+			recs, _, err := DecodeLog(data)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if len(recs) != tc.wantRecs {
+				t.Fatalf("prefix records = %d, want %d", len(recs), tc.wantRecs)
+			}
+		})
+	}
+}
+
+func frameLen(t *testing.T, r Record) int {
+	t.Helper()
+	f, err := encodeFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(f)
+}
+
+func TestWALAppendLoadReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := json.RawMessage(`{"kind":"attack","tenant":"acme"}`)
+	if _, err := w.Append(Record{Job: "job-0001", State: "queued", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(Record{Job: "job-0001", State: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Append(Record{Job: "job-0001", State: "done"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("seq = %d, want 3", seq)
+	}
+	recs, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].State != "done" || string(recs[0].Spec) != string(spec) {
+		t.Fatalf("loaded %+v", recs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(Record{Job: "x", State: "queued"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	// Reopen resumes sequencing after the replayed records.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.RepairedBytes != 0 {
+		t.Fatalf("clean log reported %d repaired bytes", w2.RepairedBytes)
+	}
+	if seq, err := w2.Append(Record{Job: "job-0002", State: "queued"}); err != nil || seq != 4 {
+		t.Fatalf("resumed seq = %d (%v), want 4", seq, err)
+	}
+}
+
+// TestWALTornTailRepair crashes mid-append (simulated by chopping bytes
+// off the file) and verifies Open keeps the valid prefix, reports the
+// repair, and appends cleanly after it.
+func TestWALTornTailRepair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(rec(0, "job-0001", "queued")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("open torn log: %v", err)
+	}
+	defer w2.Close()
+	if w2.RepairedBytes == 0 {
+		t.Fatal("torn tail not reported as repaired")
+	}
+	recs, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("post-repair records = %d, want 2", len(recs))
+	}
+	if _, err := w2.Append(rec(0, "job-0002", "queued")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = w2.Load()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("post-repair append: %d records, %v", len(recs), err)
+	}
+}
+
+// TestWALRefusesDamagedHistory: a bit flip that is NOT at the tail is
+// damage, not a crash artifact — Open must refuse with ErrChecksum
+// instead of silently truncating away good history after it.
+func TestWALRefusesDamagedHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(rec(0, "job-0001", "queued")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(walMagic)+frameHeaderSize+2] ^= 0x40 // first record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("open damaged log: %v, want ErrChecksum", err)
+	}
+}
+
+func TestWALCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(rec(0, "job-0001", "queued")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 10 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	snap := []Record{
+		{Job: "job-0001", State: "done", Kind: "attack"},
+		{Job: "job-0002", State: "queued", Kind: "census", Spec: json.RawMessage(`{}`)},
+	}
+	if err := w.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 2 {
+		t.Fatalf("post-compact count = %d, want 2", w.Count())
+	}
+	recs, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("post-compact records %+v", recs)
+	}
+	// Appends continue on the new log.
+	if seq, err := w.Append(rec(0, "job-0003", "queued")); err != nil || seq != 3 {
+		t.Fatalf("post-compact append seq = %d (%v)", seq, err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Append(Record{Job: "a", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := m.Append(Record{Job: "a", State: "done"}); err != nil || seq != 2 {
+		t.Fatalf("seq = %d (%v)", seq, err)
+	}
+	recs, _ := m.Load()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	recs[0].Job = "mutated" // Load must return a copy
+	recs2, _ := m.Load()
+	if recs2[0].Job != "a" {
+		t.Fatal("Load aliased internal state")
+	}
+	if err := m.Compact([]Record{{Job: "a", State: "done"}}); err != nil {
+		t.Fatal(err)
+	}
+	recs3, _ := m.Load()
+	if len(recs3) != 1 || recs3[0].Seq != 1 {
+		t.Fatalf("post-compact %+v", recs3)
+	}
+	m.Close()
+	if _, err := m.Append(Record{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestFoldLatest(t *testing.T) {
+	spec := json.RawMessage(`{"kind":"attack"}`)
+	recs := []Record{
+		{Seq: 1, Job: "a", State: "queued", Kind: "attack", Tenant: "x", Spec: spec},
+		{Seq: 2, Job: "b", State: "queued", Kind: "census", Spec: spec},
+		{Seq: 3, Job: "a", State: "running"},
+		{Seq: 4, Job: "a", State: "done", Result: json.RawMessage(`{"ok":true}`)},
+		{Seq: 5, Job: "b", State: "running"},
+	}
+	folded := FoldLatest(recs)
+	if len(folded) != 2 {
+		t.Fatalf("folded to %d, want 2", len(folded))
+	}
+	a, b := folded[0], folded[1]
+	if a.Job != "a" || a.State != "done" || a.Kind != "attack" || a.Tenant != "x" ||
+		string(a.Spec) != string(spec) || a.Result == nil {
+		t.Fatalf("job a folded to %+v", a)
+	}
+	if b.Job != "b" || b.State != "running" || b.Kind != "census" || string(b.Spec) != string(spec) {
+		t.Fatalf("job b folded to %+v", b)
+	}
+}

@@ -1,0 +1,49 @@
+package victim
+
+import (
+	"testing"
+
+	"snowbma/internal/snow3g"
+)
+
+// TestFingerprintStability: the shard key must be identical for configs
+// that normalize to the same design and must change with any field that
+// changes the bitstream — otherwise the fleet would route one victim's
+// jobs to different workers (cold caches) or two victims to one key.
+func TestFingerprintStability(t *testing.T) {
+	key := snow3g.Key{0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48}
+	base := Config{Key: key}
+
+	if got, want := base.Fingerprint(), (Config{Key: key, Seed: DefaultSeed}).Fingerprint(); got != want {
+		t.Fatalf("zero seed and DefaultSeed fingerprint differently:\n %s\n %s", got, want)
+	}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+
+	keys := DeriveKeys(7)
+	variants := []Config{
+		{Key: key, Protected: true},
+		{Key: key, AutoProtectBits: 32},
+		{Key: key, PadFrames: 2},
+		{Key: key, Seed: 99},
+		{Key: key, Encrypt: &keys},
+		{Key: snow3g.Key{1}},
+	}
+	seen := map[string]int{base.Fingerprint(): -1}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("variant %d collides with %d: %s", i, prev, fp)
+		}
+		seen[fp] = i
+	}
+
+	// Distinct Encrypt pointers with equal key material are the same design.
+	k2 := DeriveKeys(7)
+	a := Config{Key: key, Encrypt: &keys}
+	b := Config{Key: key, Encrypt: &k2}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal key material behind distinct pointers must fingerprint equally")
+	}
+}

@@ -74,6 +74,24 @@ func (cfg Config) normalized() Config {
 	return cfg
 }
 
+// Fingerprint is the stable identity string of the design this config
+// describes: two configs that synthesize the same victim (after
+// normalization) produce the same fingerprint, and any field that
+// changes the bitstream changes it. The fleet coordinator uses it as
+// the shard key, so jobs for one victim always land on the worker
+// whose build cache already holds that image.
+func (cfg Config) Fingerprint() string {
+	cfg = cfg.normalized()
+	enc := byte(0)
+	var kE, kA [bitstream.KeySize]byte
+	if cfg.Encrypt != nil {
+		enc = 1
+		kE, kA = cfg.Encrypt.KE, cfg.Encrypt.KA
+	}
+	return fmt.Sprintf("v1|%x|%t|%d|%d|%d|%d|%x|%x",
+		cfg.Key, cfg.Protected, cfg.AutoProtectBits, cfg.PadFrames, cfg.Seed, enc, kE, kA)
+}
+
 // Victim bundles the programmed device with its design metadata.
 type Victim struct {
 	Device *device.FPGA

@@ -15,6 +15,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"log"
 	"os"
@@ -22,6 +24,7 @@ import (
 
 	"snowbma"
 	"snowbma/internal/bitstream"
+	"snowbma/internal/store"
 )
 
 // writeCorpus writes one corpus file in Go's `go test fuzz v1` encoding.
@@ -82,6 +85,33 @@ func main() {
 		log.Fatalf("disable CRC: %v", err)
 	}
 
+	// store: a realistic durable-fleet log (full job lifecycles across
+	// tenants, a recovered re-run, a failure) plus the crash shapes the
+	// recovery path must absorb — torn tail, mid-log bit flip, and a
+	// length field claiming more bytes than any record may hold.
+	wal, err := store.EncodeLog([]store.Record{
+		{Seq: 1, TimeUS: 1000, Job: "job-0001", State: "queued", Kind: "attack", Tenant: "acme",
+			Spec: json.RawMessage(`{"kind":"attack","tenant":"acme","victim":{"seed":7}}`)},
+		{Seq: 2, TimeUS: 1100, Job: "job-0002", State: "queued", Kind: "campaign", Tenant: "free",
+			Spec: json.RawMessage(`{"kind":"campaign","campaign":{"runs":3,"seed":11}}`)},
+		{Seq: 3, TimeUS: 1200, Job: "job-0001", State: "running"},
+		{Seq: 4, TimeUS: 1900, Job: "job-0001", State: "done",
+			Result: json.RawMessage(`{"verified":true,"loads":3}`)},
+		{Seq: 5, TimeUS: 2000, Job: "job-0002", State: "running"},
+		{Seq: 6, TimeUS: 2500, Job: "job-0002", State: "failed", Error: "device wedged"},
+		{Seq: 7, TimeUS: 3000, Job: "job-0003", State: "queued", Kind: "attack", Recovered: true,
+			Spec: json.RawMessage(`{"kind":"attack"}`)},
+	})
+	if err != nil {
+		log.Fatalf("encode wal: %v", err)
+	}
+	walTorn := wal[:len(wal)-5]
+	walFlip := append([]byte(nil), wal...)
+	walFlip[len(walFlip)/3] ^= 0x40
+	walHuge := append([]byte(nil), wal[:8]...) // magic only, then a lying length
+	walHuge = binary.BigEndian.AppendUint32(walHuge, uint32(store.MaxRecordSize+1))
+	walHuge = append(walHuge, 0xDE, 0xAD, 0xBE, 0xEF)
+
 	type entry struct {
 		dir, name string
 		vals      []any
@@ -110,6 +140,13 @@ func main() {
 		{"internal/device/testdata/fuzz/FuzzClockBatchDifferential", "seed-lanes-3", []any{byte(2), int64(99), uint64(0x0011223344556677)}},
 		{"internal/device/testdata/fuzz/FuzzClockBatchDifferential", "seed-lanes-63", []any{byte(62), int64(-17), uint64(0xFFFFFFFFFFFFFFFF)}},
 		{"internal/device/testdata/fuzz/FuzzClockBatchDifferential", "seed-lanes-wrap", []any{byte(200), int64(5), uint64(0)}},
+
+		// store: the durable job log decoder gets a full multi-tenant
+		// lifecycle log and its three canonical corruption shapes.
+		{"internal/store/testdata/fuzz/FuzzWALDecode", "seed-fleet-log", []any{wal}},
+		{"internal/store/testdata/fuzz/FuzzWALDecode", "seed-torn-tail", []any{walTorn}},
+		{"internal/store/testdata/fuzz/FuzzWALDecode", "seed-bit-flip", []any{walFlip}},
+		{"internal/store/testdata/fuzz/FuzzWALDecode", "seed-lying-length", []any{walHuge}},
 
 		// boolfn: paper expressions (F8/F19 style), operator soup and
 		// near-miss syntax the in-code seeds don't cover.
