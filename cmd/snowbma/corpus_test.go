@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"snowbma"
+)
+
+func TestCmdCensusCorpus(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "corpus.json")
+	if err := cmdCensus([]string{"-corpus", "-n", "5", "-seed", "9", "-json", out, "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep snowbma.CorpusReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("corpus JSON report: %v", err)
+	}
+	if rep.Designs != 5 || len(rep.Results) != 5 {
+		t.Fatalf("report covers %d designs (%d rows), want 5", rep.Designs, len(rep.Results))
+	}
+	if rep.Exposed+rep.Covered != rep.Designs {
+		t.Fatalf("exposed %d + covered %d != designs %d", rep.Exposed, rep.Covered, rep.Designs)
+	}
+
+	// Directory ingest over one synthesized bitstream.
+	bit := filepath.Join(dir, "dut.bit")
+	if err := cmdSynth([]string{"-o", bit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCensus([]string{"-corpus", "-dir", dir2Of(t, bit)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dir2Of copies the file into a fresh directory holding only bitstreams,
+// so DirCorpus does not trip over the JSON report sitting next to it.
+func dir2Of(t *testing.T, file string) string {
+	t.Helper()
+	d := t.TempDir()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(d, filepath.Base(file)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCmdCensusCorpusValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"zero designs", []string{"-corpus", "-n", "0"}},
+		{"negative seed", []string{"-corpus", "-seed", "-3"}},
+		{"negative parallel", []string{"-corpus", "-parallel", "-1"}},
+		{"corpus with bits", []string{"-corpus", "-bits", "x.bit"}},
+		{"missing dir", []string{"-corpus", "-dir", "/nonexistent-corpus-dir"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := cmdCensus(tc.args); err == nil {
+				t.Fatalf("census %v should fail", tc.args)
+			}
+		})
+	}
+}

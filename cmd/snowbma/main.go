@@ -8,6 +8,7 @@
 //	snowbma attack     [-protected] [-encrypted] [-census] [-lanes N] [-stats] [-trace file] [-key ...] [-iv ...] [-v]
 //	snowbma campaign   [-runs N] [-parallel N] [-seed N] [-chaos] [-lanes N] [-json file]
 //	snowbma findlut    -bits file [-f expr] [-parallel N] [-stats] [-trace file]
+//	snowbma census     -bits file [-min N] | -corpus [-n N] [-seed N] [-dir dir] [-dedup=false] [-json file] [-stats]
 //	snowbma table2     [-key ...] [-stats]
 //	snowbma table6     [-key ...] [-stats]
 //	snowbma keystream  [-key ...] [-iv ...] [-n 16] [-stuck-init] [-stuck-gen] [-zero-lfsr]
@@ -103,7 +104,7 @@ commands:
   inspect     dump the packet structure of a bitstream
   extract     decode all LUT truth tables from a bitstream ([14]-style)
   trace       run the device and dump a VCD waveform of its pins
-  census      shortlist XOR-structured LUT classes from a bitstream
+  census      shortlist XOR-structured LUT classes; -corpus runs the census at scale
   repro       regenerate every paper table/figure in one run
   diff        classify the differences between two bitstreams by region
   verify      boot a bitstream and check it against the software model
@@ -559,7 +560,24 @@ func cmdCensus(args []string) error {
 	file := fs.String("bits", "", "bitstream file")
 	min := fs.Int("min", 8, "minimum class population")
 	tracePath := traceFlag(fs)
+	corpusMode := fs.Bool("corpus", false, "census a whole corpus of designs instead of one bitstream")
+	n := fs.Int("n", 50, "corpus mode: seeded designs to synthesize")
+	seed := fs.Int64("seed", 1, "corpus mode: master seed; identical seeds reproduce the report")
+	dir := fs.String("dir", "", "corpus mode: census every bitstream file of this directory instead of synthesizing")
+	dedup := fs.Bool("dedup", true, "corpus mode: content-addressed frame dedup")
+	parallel := fs.Int("parallel", 0, "corpus mode: scan worker-pool width (0 = all CPUs)")
+	jsonOut := fs.String("json", "", "corpus mode: write the corpus report as JSON to this file")
+	stats := fs.Bool("stats", false, "corpus mode: print accumulated scan-engine counters")
 	_ = fs.Parse(args)
+	if *corpusMode {
+		if *file != "" {
+			return errors.New("census: -corpus and -bits are mutually exclusive (use -dir to ingest files)")
+		}
+		return runCensusCorpus(fs, corpusOpts{
+			n: *n, seed: *seed, dir: *dir, dedup: *dedup, parallel: *parallel,
+			jsonOut: *jsonOut, stats: *stats, tracePath: *tracePath,
+		})
+	}
 	if err := positive("census", "min", *min); err != nil {
 		return err
 	}

@@ -1,0 +1,77 @@
+package snowbma
+
+import "context"
+
+// The pre-PR5 fixed-signature entrypoints, kept for source
+// compatibility. Every one is a thin one-line delegate to the
+// corresponding context-first options entrypoint; options_test.go pins
+// them result-equivalent to the calls they expand to.
+
+// RunAttack executes the attack at the full sweep width.
+//
+// Deprecated: use Attack with WithLogf.
+func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
+	return Attack(context.Background(), v, iv, WithLogf(logf))
+}
+
+// RunAttackLanes is RunAttack with an explicit candidate-sweep width.
+//
+// Deprecated: use Attack with WithLanes.
+func RunAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
+	return Attack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes))
+}
+
+// RunAttackTraced is RunAttackLanes with a telemetry handle attached.
+//
+// Deprecated: use Attack with WithLanes and WithTelemetry.
+func RunAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
+	return Attack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes), WithTelemetry(tel))
+}
+
+// RunCensusAttack executes the census attack at the full sweep width.
+//
+// Deprecated: use CensusAttack with WithLogf.
+func RunCensusAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
+	return CensusAttack(context.Background(), v, iv, WithLogf(logf))
+}
+
+// RunCensusAttackLanes is RunCensusAttack with an explicit
+// candidate-sweep width.
+//
+// Deprecated: use CensusAttack with WithLanes.
+func RunCensusAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
+	return CensusAttack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes))
+}
+
+// RunCensusAttackTraced is RunCensusAttackLanes with a telemetry handle
+// attached.
+//
+// Deprecated: use CensusAttack with WithLanes and WithTelemetry.
+func RunCensusAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
+	return CensusAttack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes), WithTelemetry(tel))
+}
+
+// FindFunction searches a raw bitstream for LUTs implementing expr.
+//
+// Deprecated: use FindLUTs.
+func FindFunction(bits []byte, expr string) ([]int, error) {
+	out, _, err := FindLUTs(context.Background(), bits, expr)
+	return out, err
+}
+
+// FindFunctionStats is FindFunction with an explicit worker count
+// (0 = all CPUs) and the scan-engine counters of the pass.
+//
+// Deprecated: use FindLUTs with WithParallel.
+func FindFunctionStats(bits []byte, expr string, parallel int) ([]int, ScanStats, error) {
+	return FindLUTs(context.Background(), bits, expr, WithParallel(parallel))
+}
+
+// FindFunctionTraced is FindFunctionStats with a telemetry handle
+// attached to the scan engine (scan.pass/compile/walk spans). tel may be
+// nil.
+//
+// Deprecated: use FindLUTs with WithParallel and WithTelemetry.
+func FindFunctionTraced(bits []byte, expr string, parallel int, tel *Telemetry) ([]int, ScanStats, error) {
+	return FindLUTs(context.Background(), bits, expr, WithParallel(parallel), WithTelemetry(tel))
+}

@@ -1,0 +1,443 @@
+package corpus
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"snowbma/internal/bitstream"
+	"snowbma/internal/boolfn"
+	"snowbma/internal/core"
+	"snowbma/internal/obs"
+)
+
+// DefaultTargetExpr is the W-XOR census target: the z_t-path
+// (s0 ⊕ R1 ⊕ R2)-shaped LUT the paper's fault injection needs (Table II
+// row 1). The FINDLUT scan lists its candidates — genuine instances and
+// byte-coincidence false positives alike, exactly as Table II does.
+// Exposure is decided by the extracted-LUT class census instead: a
+// design whose occupied LUT slots include the target's P-class is
+// exposed; a design with none — the Section VII-A countermeasure splits
+// the visible 3-XOR into indistinguishable XOR2s — is covered.
+const DefaultTargetExpr = "(a1^a2^a3)a4a5!a6"
+
+// ChunkBytes is the dedup granularity: one fabric frame. Images chunk
+// on this fixed grid and each chunk's scan result is memoized by
+// content hash.
+const ChunkBytes = bitstream.FrameBytes
+
+// chunkOverlap is how far past its chunk a scan window must extend so
+// every base position inside the chunk sees its full candidate span:
+// a FINDLUT match at position l reads bytes [l, l+span), so the last
+// in-chunk position needs span-1 trailing bytes. The overlap is part of
+// the hashed content — a chunk's result depends on those bytes too.
+const chunkOverlap = (bitstream.SubVectors-1)*bitstream.SubVectorOffset + bitstream.SubVectorBytes - 1
+
+// memoMax bounds the content-addressed memo; past the cap, windows are
+// scanned but not retained (an adversarial corpus must not grow memory
+// without limit). At ~64 bytes per entry the cap is a few hundred MB of
+// worst-case distinct frames.
+const memoMax = 1 << 21
+
+// Options parameterizes a Census engine.
+type Options struct {
+	// NoDedup disables the content-addressed frame memo: every design is
+	// scanned as one whole image (the PR6 batch shape). The results are
+	// identical either way — pinned by the differential suite.
+	NoDedup bool
+	// Parallel bounds the whole-image scan worker pool (0 = all CPUs).
+	// Chunked scans are single-worker: a 708-byte window does not
+	// amortize a pool.
+	Parallel int
+	// Expr overrides the census target function ("" = DefaultTargetExpr).
+	Expr string
+	// Tel receives the census span and per-design progress events
+	// (nil-safe). Scanner-level spans are deliberately not attached: at
+	// thousands of designs they would flood the tracer.
+	Tel *obs.Telemetry
+	// Logf receives per-design progress lines (nil = silent).
+	Logf func(string, ...any)
+}
+
+// memoEntry is one chunk window's memoized scan result, window-relative.
+type memoEntry struct {
+	matches []core.Match
+	duals   []int32
+}
+
+// DesignResult is one design's census outcome.
+type DesignResult struct {
+	ID        string `json:"id"`
+	Protected bool   `json:"protected,omitempty"`
+	Bytes     int    `json:"bytes"`
+	// Frames is the image's chunk count; FramesScanned how many missed
+	// the memo and paid for a scan during this (re-)add. With dedup off
+	// the whole image is one pass and FramesScanned == Frames.
+	Frames        int `json:"frames"`
+	FramesScanned int `json:"frames_scanned"`
+	DedupHits     int `json:"dedup_hits,omitempty"`
+	// Matches are the ascending byte indexes of target-function
+	// candidates (genuine and false positive, as in Table II); DualHits
+	// counts Section VII-B dual-XOR positions.
+	Matches  []int `json:"matches,omitempty"`
+	DualHits int   `json:"dual_hits,omitempty"`
+	// TargetLUTs counts occupied LUT slots whose extracted table falls in
+	// the target's P-class — the genuine population behind the candidate
+	// list (32 on an unprotected SNOW 3G design, 0 under the
+	// countermeasure). -1 when the image does not parse as a full
+	// bitstream (directory-ingested fragments), in which case Exposed
+	// falls back to the candidate heuristic.
+	TargetLUTs int `json:"target_luts"`
+	// Exposed: the design genuinely instantiates the W-XOR target, so
+	// the paper's fault is injectable. Covered is its complement at
+	// report scope.
+	Exposed bool `json:"exposed"`
+	// Rescans counts incremental re-adds of this design ID.
+	Rescans int `json:"rescans,omitempty"`
+}
+
+// Report is the deterministic corpus-wide vulnerability report: for a
+// fixed corpus and options, every field except the ScanStats timings is
+// reproducible run to run.
+type Report struct {
+	Expr    string `json:"expr"`
+	Designs int    `json:"designs"`
+	// Exposed counts designs whose LUT census holds the W-XOR target
+	// class; Covered the rest; Protected how many carried the
+	// countermeasure.
+	Exposed   int `json:"exposed"`
+	Covered   int `json:"covered"`
+	Protected int `json:"protected"`
+	// Frames / FramesScanned / DedupHits account the memo across every
+	// add (including incremental re-scans); DedupRate = DedupHits/Frames.
+	Frames        int64   `json:"frames"`
+	FramesScanned int64   `json:"frames_scanned"`
+	DedupHits     int64   `json:"dedup_hits"`
+	DedupRate     float64 `json:"dedup_rate"`
+	BytesTotal    int64   `json:"bytes_total"`
+	Matches       int     `json:"matches"`
+	DualHits      int     `json:"dual_hits"`
+	// Scan accumulates the stats of every real scanner pass (memo hits
+	// pay nothing and appear only in DedupHits).
+	Scan    core.ScanStats `json:"scan"`
+	Results []DesignResult `json:"results"`
+}
+
+// Census is the corpus scan engine. It is not safe for concurrent use:
+// one census run owns one engine (the service spawns one per corpus
+// job). Add may be called directly, or Run drains a Source.
+type Census struct {
+	opt  Options
+	tel  *obs.Telemetry
+	full *core.Scanner // whole-image path (dedup off)
+	chnk *core.Scanner // chunk-window path (dedup on)
+
+	memo    map[[sha256.Size]byte]*memoEntry
+	byID    map[string]int // design ID → index into results
+	results []DesignResult
+
+	// canon is the target's P-class representative; classCache memoizes
+	// table → in-target-class across every design (designs repeat tables
+	// heavily, so classification costs one canonicalization per distinct
+	// table corpus-wide).
+	canon      boolfn.TT
+	classCache map[boolfn.TT]bool
+
+	frames, framesScanned, dedupHits, bytesTotal int64
+	scan                                         core.ScanStats
+}
+
+// New builds a census engine. The target expression compiles once into
+// both scanners' shared candidate catalogue (served by the process-wide
+// catalogue cache); the compiled anchor index is cached on each scanner
+// across every design and every chunk.
+func New(opt Options) (*Census, error) {
+	expr := opt.Expr
+	if expr == "" {
+		expr = DefaultTargetExpr
+		opt.Expr = expr
+	}
+	f, err := boolfn.ParseAuto(expr)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: expr: %w", err)
+	}
+	c := &Census{
+		opt:        opt,
+		tel:        opt.Tel,
+		memo:       map[[sha256.Size]byte]*memoEntry{},
+		byID:       map[string]int{},
+		canon:      boolfn.PClassCanon(f),
+		classCache: map[boolfn.TT]bool{},
+	}
+	c.full = core.NewScanner(core.FindOptions{Parallel: opt.Parallel})
+	c.full.AddFunction("t", f).AddDualXOR("w", 0, 0)
+	c.chnk = core.NewScanner(core.FindOptions{Parallel: 1})
+	c.chnk.AddFunction("t", f).AddDualXOR("w", 0, 0)
+	return c, nil
+}
+
+// Add scans one design and folds it into the report. Re-adding an
+// existing ID is the incremental path: with dedup on, only chunks whose
+// content hash changed (the delta, plus the preceding chunk whose
+// overlap window covers it) are rescanned — everything else is served
+// from the memo.
+func (c *Census) Add(d Design) (DesignResult, error) {
+	if d.ID == "" {
+		return DesignResult{}, fmt.Errorf("corpus: design without an ID")
+	}
+	if len(d.Image) == 0 {
+		return DesignResult{}, fmt.Errorf("corpus: design %s has an empty image", d.ID)
+	}
+	dr := DesignResult{
+		ID:        d.ID,
+		Protected: d.Protected,
+		Bytes:     len(d.Image),
+		Frames:    (len(d.Image) + ChunkBytes - 1) / ChunkBytes,
+	}
+	if c.opt.NoDedup {
+		res := c.full.Scan(d.Image)
+		c.scan.Accumulate(res.Stats)
+		dr.FramesScanned = dr.Frames
+		for _, m := range res.Matches["t"] {
+			dr.Matches = append(dr.Matches, m.Index)
+		}
+		dr.DualHits = len(res.DualHits["w"])
+	} else {
+		c.addChunked(d.Image, &dr)
+	}
+	dr.TargetLUTs = c.classify(d.Image)
+	if dr.TargetLUTs >= 0 {
+		dr.Exposed = dr.TargetLUTs > 0
+	} else {
+		dr.Exposed = len(dr.Matches) > 0
+	}
+
+	c.frames += int64(dr.Frames)
+	c.framesScanned += int64(dr.FramesScanned)
+	c.dedupHits += int64(dr.DedupHits)
+	c.bytesTotal += int64(dr.Bytes)
+	if i, ok := c.byID[d.ID]; ok {
+		dr.Rescans = c.results[i].Rescans + 1
+		c.results[i] = dr
+	} else {
+		c.byID[d.ID] = len(c.results)
+		c.results = append(c.results, dr)
+	}
+	return dr, nil
+}
+
+// addChunked is the dedup path: the image is cut on the ChunkBytes
+// grid, each chunk is scanned as a window extended by chunkOverlap
+// trailing bytes, and the window's result is memoized under the hash of
+// its full content. Reconstruction is exact: a window of
+// ChunkBytes+chunkOverlap bytes scans precisely the base positions
+// owned by its chunk (the last in-chunk position's span ends at the
+// window's last byte), and a truncated final window excludes exactly
+// the positions a whole-image scan would exclude.
+func (c *Census) addChunked(img []byte, dr *DesignResult) {
+	for start := 0; start < len(img); start += ChunkBytes {
+		end := start + ChunkBytes
+		if end > len(img) {
+			end = len(img)
+		}
+		wend := start + ChunkBytes + chunkOverlap
+		if wend > len(img) {
+			wend = len(img)
+		}
+		window := img[start:wend]
+		h := sha256.Sum256(window)
+		e, ok := c.memo[h]
+		if ok {
+			dr.DedupHits++
+		} else {
+			e = c.scanWindow(window)
+			dr.FramesScanned++
+			if len(c.memo) < memoMax {
+				c.memo[h] = e
+			}
+		}
+		chunkLen := end - start
+		for _, m := range e.matches {
+			if m.Index < chunkLen { // the next chunk owns the rest
+				dr.Matches = append(dr.Matches, start+m.Index)
+			}
+		}
+		for _, p := range e.duals {
+			if int(p) < chunkLen {
+				dr.DualHits++
+			}
+		}
+	}
+}
+
+// classify counts the design's occupied LUT slots in the target's
+// P-class — the ground truth the FINDLUT candidate list approximates.
+// Returns -1 if the image does not parse as a full bitstream.
+func (c *Census) classify(img []byte) int {
+	luts, err := bitstream.ExtractLUTs(img)
+	if err != nil {
+		return -1
+	}
+	n := 0
+	for _, l := range luts {
+		hit, ok := c.classCache[l.Init]
+		if !ok {
+			hit = boolfn.PClassCanon(l.Init) == c.canon
+			c.classCache[l.Init] = hit
+		}
+		if hit {
+			n++
+		}
+	}
+	return n
+}
+
+// scanWindow runs the shared chunk scanner over one window and captures
+// its window-relative result for the memo.
+func (c *Census) scanWindow(window []byte) *memoEntry {
+	res := c.chnk.Scan(window)
+	c.scan.Accumulate(res.Stats)
+	e := &memoEntry{}
+	if ms := res.Matches["t"]; len(ms) > 0 {
+		e.matches = append([]core.Match(nil), ms...)
+	}
+	for _, p := range res.DualHits["w"] {
+		e.duals = append(e.duals, int32(p))
+	}
+	return e
+}
+
+// MemoLen reports the number of distinct frame windows held by the
+// dedup memo.
+func (c *Census) MemoLen() int { return len(c.memo) }
+
+// Report assembles the corpus-wide report from the engine's current
+// state. It may be called repeatedly; each call reflects every Add so
+// far.
+func (c *Census) Report() *Report {
+	rep := &Report{
+		Expr:          c.opt.Expr,
+		Designs:       len(c.results),
+		Frames:        c.frames,
+		FramesScanned: c.framesScanned,
+		DedupHits:     c.dedupHits,
+		BytesTotal:    c.bytesTotal,
+		Scan:          c.scan,
+		Results:       append([]DesignResult(nil), c.results...),
+	}
+	for _, dr := range rep.Results {
+		if dr.Exposed {
+			rep.Exposed++
+		} else {
+			rep.Covered++
+		}
+		if dr.Protected {
+			rep.Protected++
+		}
+		rep.Matches += len(dr.Matches)
+		rep.DualHits += dr.DualHits
+	}
+	if rep.Frames > 0 {
+		rep.DedupRate = float64(rep.DedupHits) / float64(rep.Frames)
+	}
+	return rep
+}
+
+// Run drains a source through the engine and returns the report.
+// Cancellation is honored between designs with an error wrapping
+// core.ErrCancelled. If src implements Close(), it is closed on every
+// exit path.
+func (c *Census) Run(ctx context.Context, src Source) (*Report, error) {
+	if cl, ok := src.(interface{ Close() }); ok {
+		defer cl.Close()
+	}
+	span := c.tel.StartSpan("corpus.census", obs.KV("dedup", !c.opt.NoDedup))
+	defer span.End()
+	n := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrCancelled, err)
+		}
+		d, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		dr, err := c.Add(d)
+		if err != nil {
+			return nil, err
+		}
+		n++
+		c.tel.Publish(obs.EventProgress, "corpus.design", float64(n),
+			obs.KV("id", shortID(d.ID)), obs.KV("exposed", dr.Exposed),
+			obs.KV("frames_scanned", dr.FramesScanned), obs.KV("dedup_hits", dr.DedupHits))
+		if c.opt.Logf != nil {
+			c.opt.Logf("corpus: design %d %s: %d matches, %d/%d frames scanned",
+				n, shortID(d.ID), len(dr.Matches), dr.FramesScanned, dr.Frames)
+		}
+	}
+	rep := c.Report()
+	span.SetAttr("designs", rep.Designs)
+	span.SetAttr("dedup_hits", rep.DedupHits)
+	c.tel.Gauge("corpus.designs").Set(float64(rep.Designs))
+	c.tel.Gauge("corpus.exposed").Set(float64(rep.Exposed))
+	c.tel.Gauge("corpus.memo_entries").Set(float64(len(c.memo)))
+	return rep, nil
+}
+
+// Merge folds shard reports into one fleet-wide report: counters sum,
+// per-design results concatenate sorted by ID (shards arrive in worker
+// order, which is not deterministic), and the headline tallies are
+// recounted from the merged results. Dedup remains per-shard: a frame
+// repeated across two workers' shards was scanned once per worker.
+func Merge(reps ...*Report) *Report {
+	out := &Report{}
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		if out.Expr == "" {
+			out.Expr = r.Expr
+		}
+		out.Frames += r.Frames
+		out.FramesScanned += r.FramesScanned
+		out.DedupHits += r.DedupHits
+		out.BytesTotal += r.BytesTotal
+		out.Scan.Accumulate(r.Scan)
+		out.Results = append(out.Results, r.Results...)
+	}
+	sortResults(out.Results)
+	out.Designs = len(out.Results)
+	for _, dr := range out.Results {
+		if dr.Exposed {
+			out.Exposed++
+		} else {
+			out.Covered++
+		}
+		if dr.Protected {
+			out.Protected++
+		}
+		out.Matches += len(dr.Matches)
+		out.DualHits += dr.DualHits
+	}
+	if out.Frames > 0 {
+		out.DedupRate = float64(out.DedupHits) / float64(out.Frames)
+	}
+	return out
+}
+
+func sortResults(rs []DesignResult) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+}
+
+// shortID trims a design ID for logs and events (victim fingerprints
+// run long; the prefix is plenty to correlate).
+func shortID(id string) string {
+	if len(id) > 24 {
+		return id[:24]
+	}
+	return id
+}

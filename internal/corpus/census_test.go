@@ -1,0 +1,416 @@
+package corpus
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"snowbma/internal/boolfn"
+	"snowbma/internal/core"
+)
+
+// corpusFixture synthesizes a seeded corpus once per test binary: the
+// differential suite, the incremental suite and the smoke all read the
+// same 50 designs.
+var (
+	fixOnce    sync.Once
+	fixDesigns []Design
+	fixErr     error
+)
+
+const (
+	fixtureSeed    = 1701
+	fixtureDesigns = 50
+)
+
+func fixture(t testing.TB) []Design {
+	fixOnce.Do(func() {
+		src := NewSeeded(SeedOptions{Designs: fixtureDesigns, Seed: fixtureSeed})
+		defer src.Close()
+		for {
+			d, ok, err := src.Next()
+			if err != nil {
+				fixErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			fixDesigns = append(fixDesigns, d)
+		}
+	})
+	if fixErr != nil {
+		t.Fatalf("corpus fixture: %v", fixErr)
+	}
+	if len(fixDesigns) != fixtureDesigns {
+		t.Fatalf("corpus fixture: got %d designs, want %d", len(fixDesigns), fixtureDesigns)
+	}
+	return fixDesigns
+}
+
+func runCensus(t testing.TB, designs []Design, opt Options) *Report {
+	t.Helper()
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range designs {
+		if _, err := c.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c.Report()
+}
+
+// normalizeReport zeroes the wall-clock and pool-width fields so two
+// runs of the same corpus compare byte-identical.
+func normalizeReport(rep *Report) {
+	rep.Scan.CompileTime = 0
+	rep.Scan.ScanTime = 0
+	rep.Scan.Workers = 0
+	rep.Scan.CatalogueHits = 0
+	rep.Scan.CatalogueMisses = 0
+}
+
+// TestCorpusDifferential pins the tentpole equivalence over the seeded
+// 50-design corpus: dedup-on == dedup-off == per-design sequential
+// FindLUT + FindDualXOR, match for match.
+func TestCorpusDifferential(t *testing.T) {
+	designs := fixture(t)
+	f, err := boolfn.ParseAuto(DefaultTargetExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	on := runCensus(t, designs, Options{})
+	off := runCensus(t, designs, Options{NoDedup: true})
+
+	if on.Designs != len(designs) || off.Designs != len(designs) {
+		t.Fatalf("designs: dedup-on %d, dedup-off %d, want %d", on.Designs, off.Designs, len(designs))
+	}
+	for i, d := range designs {
+		seqMatches := core.FindLUT(d.Image, f, core.FindOptions{})
+		seq := make([]int, 0, len(seqMatches))
+		for _, m := range seqMatches {
+			seq = append(seq, m.Index)
+		}
+		seqDuals := core.FindDualXOR(d.Image, 0, 0)
+		for _, rep := range []*Report{on, off} {
+			dr := rep.Results[i]
+			if dr.ID != d.ID {
+				t.Fatalf("design %d: report ID %s, want %s", i, shortID(dr.ID), shortID(d.ID))
+			}
+			if !reflect.DeepEqual(dr.Matches, seq) && !(len(dr.Matches) == 0 && len(seq) == 0) {
+				t.Errorf("design %d: census matches %v, sequential FindLUT %v", i, dr.Matches, seq)
+			}
+			if dr.DualHits != len(seqDuals) {
+				t.Errorf("design %d: census dual hits %d, FindDualXOR %d", i, dr.DualHits, len(seqDuals))
+			}
+			wantLUTs := 32 // one genuine f8 instance per keystream bit
+			if dr.Protected {
+				wantLUTs = 0 // the countermeasure splits every one
+			}
+			if dr.TargetLUTs != wantLUTs || dr.Exposed != (wantLUTs > 0) {
+				t.Errorf("design %d (protected=%v): %d target-class LUTs, exposed=%v, want %d",
+					i, dr.Protected, dr.TargetLUTs, dr.Exposed, wantLUTs)
+			}
+		}
+	}
+
+	// The two census modes must agree on the whole report body.
+	nOn, nOff := *on, *off
+	normalizeReport(&nOn)
+	normalizeReport(&nOff)
+	nOn.Scan, nOff.Scan = core.ScanStats{}, core.ScanStats{}
+	nOn.Frames, nOff.Frames = 0, 0
+	nOn.FramesScanned, nOff.FramesScanned = 0, 0
+	nOn.DedupHits, nOff.DedupHits = 0, 0
+	nOn.DedupRate, nOff.DedupRate = 0, 0
+	onResults, offResults := nOn.Results, nOff.Results
+	nOn.Results, nOff.Results = nil, nil
+	if !reflect.DeepEqual(nOn, nOff) {
+		t.Errorf("dedup-on and dedup-off headline reports diverge:\n on: %+v\noff: %+v", nOn, nOff)
+	}
+	for i := range onResults {
+		a, b := onResults[i], offResults[i]
+		a.FramesScanned, b.FramesScanned = 0, 0
+		a.DedupHits, b.DedupHits = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("design %d: dedup-on result %+v != dedup-off %+v", i, a, b)
+		}
+	}
+
+	// Dedup must actually have deduplicated something (padding and blank
+	// frames repeat within and across designs).
+	if on.DedupHits == 0 {
+		t.Error("dedup-on corpus reports zero dedup hits")
+	}
+	if on.FramesScanned+on.DedupHits != on.Frames {
+		t.Errorf("frames %d != scanned %d + dedup hits %d", on.Frames, on.FramesScanned, on.DedupHits)
+	}
+}
+
+// TestCorpusDeterministic pins the report reproducibility the fleet
+// merge depends on: two engines over the same corpus marshal to
+// byte-identical JSON after timing normalization.
+func TestCorpusDeterministic(t *testing.T) {
+	designs := fixture(t)
+	a := runCensus(t, designs, Options{})
+	b := runCensus(t, designs, Options{})
+	normalizeReport(a)
+	normalizeReport(b)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("two identical census runs produced different reports:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestCorpusIncrementalRescan flips bytes in two frames of one design
+// and re-adds it: only the touched chunk windows may rescan, and the
+// incremental result must equal a fresh full scan of the modified
+// image.
+func TestCorpusIncrementalRescan(t *testing.T) {
+	designs := fixture(t)
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range designs[:8] {
+		if _, err := c.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scannedBefore := c.Report().Scan.BytesScanned
+
+	// Flip one byte in each of two frames, past the chunkOverlap point
+	// so the preceding chunk's window (which hashes chunkOverlap bytes
+	// of the next chunk) is untouched: exactly two windows change.
+	mod := append([]byte(nil), designs[3].Image...)
+	for _, frame := range []int{40, 90} {
+		off := frame*ChunkBytes + chunkOverlap + 20
+		if off >= len(mod) {
+			t.Fatalf("flip offset %d outside image of %d bytes", off, len(mod))
+		}
+		mod[off] ^= 0xA5
+	}
+	dr, err := c.Add(Design{ID: designs[3].ID, Image: mod, Protected: designs[3].Protected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Rescans != 1 {
+		t.Errorf("rescans = %d, want 1", dr.Rescans)
+	}
+	if dr.FramesScanned != 2 {
+		t.Errorf("incremental re-add scanned %d frames, want exactly the 2 touched ones", dr.FramesScanned)
+	}
+	if dr.DedupHits != dr.Frames-2 {
+		t.Errorf("incremental re-add: %d dedup hits, want %d", dr.DedupHits, dr.Frames-2)
+	}
+
+	// ScanStats must account only the touched windows.
+	scannedAfter := c.Report().Scan.BytesScanned
+	maxWindow := int64(ChunkBytes + chunkOverlap)
+	if delta := scannedAfter - scannedBefore; delta > 2*maxWindow {
+		t.Errorf("incremental re-add scanned %d bytes, want <= %d (2 windows)", delta, 2*maxWindow)
+	}
+
+	// Ground truth: a fresh dedup-off scan of the modified image.
+	fresh := runCensus(t, []Design{{ID: "mod", Image: mod}}, Options{NoDedup: true})
+	want := fresh.Results[0]
+	if !reflect.DeepEqual(dr.Matches, want.Matches) && !(len(dr.Matches) == 0 && len(want.Matches) == 0) {
+		t.Errorf("incremental matches %v != fresh full-scan matches %v", dr.Matches, want.Matches)
+	}
+	if dr.DualHits != want.DualHits {
+		t.Errorf("incremental dual hits %d != fresh %d", dr.DualHits, want.DualHits)
+	}
+
+	// The report holds the design once, with the updated result.
+	rep := c.Report()
+	if rep.Designs != 8 {
+		t.Errorf("report designs = %d after re-add, want 8", rep.Designs)
+	}
+}
+
+// TestCorpusMerge pins the fleet-side shard merge: splitting the corpus
+// into shards and merging their reports reproduces the single-engine
+// headline (modulo dedup, which is per-shard).
+func TestCorpusMerge(t *testing.T) {
+	designs := fixture(t)
+	whole := runCensus(t, designs, Options{})
+	a := runCensus(t, designs[:17], Options{})
+	b := runCensus(t, designs[17:33], Options{})
+	cc := runCensus(t, designs[33:], Options{})
+	merged := Merge(a, b, cc)
+	if merged.Designs != whole.Designs || merged.Exposed != whole.Exposed ||
+		merged.Covered != whole.Covered || merged.Protected != whole.Protected ||
+		merged.Matches != whole.Matches || merged.DualHits != whole.DualHits ||
+		merged.BytesTotal != whole.BytesTotal || merged.Frames != whole.Frames {
+		t.Errorf("merged headline diverges from whole-corpus run:\nmerged: %+v\n whole: %+v",
+			merged, whole)
+	}
+	// Merged results are ID-sorted; the whole run is stream-ordered.
+	// Compare as sets keyed by ID.
+	byID := map[string]DesignResult{}
+	for _, dr := range whole.Results {
+		byID[dr.ID] = dr
+	}
+	for _, dr := range merged.Results {
+		w, ok := byID[dr.ID]
+		if !ok {
+			t.Fatalf("merged report holds unknown design %s", shortID(dr.ID))
+		}
+		dr.FramesScanned, w.FramesScanned = 0, 0
+		dr.DedupHits, w.DedupHits = 0, 0
+		if !reflect.DeepEqual(dr, w) {
+			t.Errorf("design %s: merged %+v != whole %+v", shortID(dr.ID), dr, w)
+		}
+	}
+}
+
+// TestCorpusCensusSmoke is the census-at-scale invariant check behind
+// `make census-smoke`: a seeded 200-design corpus streamed end to end
+// (synthesis pipeline included) under the race detector, with the
+// report invariants asserted.
+func TestCorpusCensusSmoke(t *testing.T) {
+	const n = 200
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background(), NewSeeded(SeedOptions{Designs: n, Seed: 42}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Designs != n {
+		t.Fatalf("designs = %d, want %d", rep.Designs, n)
+	}
+	if rep.Exposed+rep.Covered != rep.Designs {
+		t.Errorf("exposed %d + covered %d != designs %d", rep.Exposed, rep.Covered, rep.Designs)
+	}
+	if rep.Protected != n/4 {
+		t.Errorf("protected = %d, want %d (every fourth design)", rep.Protected, n/4)
+	}
+	if rep.Exposed != n-n/4 {
+		t.Errorf("exposed = %d, want every unprotected design (%d)", rep.Exposed, n-n/4)
+	}
+	if rep.Covered != rep.Protected {
+		t.Errorf("covered %d != protected %d: the countermeasure must hide the target class exactly",
+			rep.Covered, rep.Protected)
+	}
+	if rep.DedupHits == 0 || rep.DedupRate <= 0 {
+		t.Error("zero dedup hits over a 200-design corpus")
+	}
+	if rep.FramesScanned+rep.DedupHits != rep.Frames {
+		t.Errorf("frames %d != scanned %d + dedup %d", rep.Frames, rep.FramesScanned, rep.DedupHits)
+	}
+	if got := int64(0); true {
+		for _, dr := range rep.Results {
+			got += int64(dr.Bytes)
+		}
+		if got != rep.BytesTotal {
+			t.Errorf("bytes_total %d != sum of per-design bytes %d", rep.BytesTotal, got)
+		}
+	}
+	t.Logf("census: %d designs, %d exposed, %d covered (%d protected), dedup rate %.1f%%, %d/%d frames scanned",
+		rep.Designs, rep.Exposed, rep.Covered, rep.Protected,
+		100*rep.DedupRate, rep.FramesScanned, rep.Frames)
+}
+
+// TestCorpusCancellation pins the Run contract: a cancelled context
+// stops the census between designs with core.ErrCancelled.
+func TestCorpusCancellation(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx, NewSeeded(SeedOptions{Designs: 4, Seed: 1})); !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("cancelled census error = %v, want core.ErrCancelled", err)
+	}
+}
+
+// TestDirSource ingests a directory corpus: sorted order, stable IDs,
+// empty files rejected.
+func TestDirSource(t *testing.T) {
+	designs := fixture(t)
+	dir := t.TempDir()
+	for i, name := range []string{"b.bit", "a.bit", "c.bit"} {
+		if err := os.WriteFile(filepath.Join(dir, name), designs[i].Image, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for {
+		d, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		ids = append(ids, d.ID)
+	}
+	if !reflect.DeepEqual(ids, []string{"a.bit", "b.bit", "c.bit"}) {
+		t.Fatalf("dir source order %v, want sorted names", ids)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "empty.bit"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err = NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok, err := src.Next()
+		if err != nil {
+			return // the empty file surfaced as an error, as required
+		}
+		if !ok {
+			t.Fatal("empty bitstream file passed the directory source")
+		}
+	}
+}
+
+// TestSeededSourceDeterminism: two sources with the same options stream
+// identical corpora, and an Indices subset selects exactly those
+// designs.
+func TestSeededSourceDeterminism(t *testing.T) {
+	drain := func(src *SeededSource) []Design {
+		defer src.Close()
+		var out []Design
+		for {
+			d, ok, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		}
+	}
+	a := drain(NewSeeded(SeedOptions{Designs: 6, Seed: 9}))
+	b := drain(NewSeeded(SeedOptions{Designs: 6, Seed: 9}))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identically-seeded sources streamed different corpora")
+	}
+	sub := drain(NewSeeded(SeedOptions{Designs: 6, Seed: 9, Indices: []int{4, 1}}))
+	if len(sub) != 2 || sub[0].ID != a[4].ID || sub[1].ID != a[1].ID {
+		t.Fatal("Indices subset did not select the requested designs in order")
+	}
+	if a[3].ID == a[2].ID {
+		t.Fatal("adjacent designs share a fingerprint — the seeded variation is degenerate")
+	}
+}

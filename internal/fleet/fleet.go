@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"snowbma/internal/corpus"
 	"snowbma/internal/obs"
 	"snowbma/internal/service"
 )
@@ -83,6 +84,10 @@ type Status struct {
 	Reassigned int        `json:"reassigned,omitempty"`
 	Submitted  time.Time  `json:"submitted"`
 	Finished   *time.Time `json:"finished,omitempty"`
+	// Shards counts the child jobs of a composite (fleet-sharded corpus)
+	// submission; Parent names the composite a shard belongs to.
+	Shards int    `json:"shards,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // worker is one fleet member's coordinator-side state.
@@ -110,6 +115,13 @@ type fleetJob struct {
 	lease      time.Time
 	reassigned int
 
+	// composite marks a fleet-sharded corpus parent: it never dispatches
+	// itself; it settles when its children (by id) all reach terminal
+	// states. Children carry the parent id back.
+	composite bool
+	children  []string
+	parent    string
+
 	submitted time.Time
 	finished  time.Time
 	done      chan struct{}
@@ -135,6 +147,8 @@ func (j *fleetJob) status() Status {
 		Shard:      j.shard,
 		Reassigned: j.reassigned,
 		Submitted:  j.submitted,
+		Shards:     len(j.children),
+		Parent:     j.parent,
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
@@ -213,10 +227,19 @@ func (c *Coordinator) Telemetry() *obs.Telemetry { return c.tel }
 
 // shardKey derives the consistent-hash key for a spec: jobs that build
 // the same victim share a key (so one worker's victim.Cache serves all
-// of them); campaign jobs key on their own parameters.
+// of them); campaign jobs key on their own parameters; a corpus shard
+// keys on its first design's fingerprint (the coordinator already
+// grouped the shard's indices by that routing — see submitCorpus).
 func shardKey(spec service.JobSpec) string {
 	if spec.Kind == service.KindCampaign && spec.Campaign != nil {
 		return fmt.Sprintf("campaign|%d|%d|%t", spec.Campaign.Seed, spec.Campaign.Runs, spec.Campaign.Chaos)
+	}
+	if spec.Kind == service.KindCorpus && spec.Corpus != nil {
+		cs := spec.Corpus
+		if len(cs.Indices) > 0 {
+			return corpus.SeededConfig(cs.Seed, cs.Indices[0]).Fingerprint()
+		}
+		return fmt.Sprintf("corpus|%d|%d", cs.Seed, cs.Designs)
 	}
 	return spec.Victim.Config().Fingerprint()
 }
@@ -294,8 +317,19 @@ func (c *Coordinator) Workers() []WorkerInfo {
 
 // Submit routes a job to the live worker owning its shard. A rejection
 // by the worker (invalid spec, full queue, over quota) propagates to
-// the caller unchanged; a dead worker is walked over on the ring.
+// the caller unchanged; a dead worker is walked over on the ring. The
+// spec is validated coordinator-side first — the mirror API rejects
+// exactly what a worker engine would, with the same ErrSpec. A corpus
+// submission without explicit indices is fleet-sharded: split across
+// the live ring by design fingerprint and merged on completion.
 func (c *Coordinator) Submit(spec service.JobSpec) (Status, error) {
+	if err := spec.Validate(); err != nil {
+		c.tel.Counter("fleet.jobs_rejected").Inc()
+		return Status{}, err
+	}
+	if spec.Kind == service.KindCorpus && len(spec.Corpus.Indices) == 0 {
+		return c.submitCorpus(spec)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -528,8 +562,8 @@ func (c *Coordinator) pollJobs() {
 	unowned := make([]*fleetJob, 0)
 	for _, id := range c.order {
 		j := c.jobs[id]
-		if j.terminal() {
-			continue
+		if j.terminal() || j.composite {
+			continue // composites never dispatch; settleComposites owns them
 		}
 		w, ok := c.workers[j.owner]
 		if j.owner == "" || !ok {
@@ -596,6 +630,7 @@ func (c *Coordinator) pollJobs() {
 			}
 		}
 	}
+	c.settleComposites()
 }
 
 // redispatch moves an unowned (or lost) job to the next live worker on

@@ -3,6 +3,7 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"snowbma/internal/obs"
@@ -54,7 +55,9 @@ type errorBody struct {
 
 // httpError maps coordinator errors onto status codes. A workerError
 // passes its original status through, so a tenant over quota sees the
-// same 429 from the fleet as from a single worker.
+// same 429 from the fleet as from a single worker; a spec rejected by
+// coordinator-side validation carries the same typed ErrSpec — and so
+// the same 400 envelope — the worker engine would have produced.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var wErr *workerError
@@ -64,6 +67,8 @@ func httpError(w http.ResponseWriter, err error) {
 		if code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
+	case errors.Is(err, service.ErrSpec):
+		code = http.StatusBadRequest
 	case errors.Is(err, ErrNoWorkers), errors.Is(err, ErrShuttingDown):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
@@ -79,7 +84,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid job spec: " + err.Error()})
+		httpError(w, fmt.Errorf("%w: %v", service.ErrSpec, err))
 		return
 	}
 	st, err := c.Submit(spec)

@@ -7,6 +7,7 @@ import (
 	"snowbma/internal/boolfn"
 	"snowbma/internal/campaign"
 	"snowbma/internal/core"
+	"snowbma/internal/corpus"
 	"snowbma/internal/victim"
 )
 
@@ -20,6 +21,8 @@ func (e *Engine) exec(ctx context.Context, j *job) (any, error) {
 		return e.execFindLUT(ctx, j)
 	case KindCampaign:
 		return e.execCampaign(ctx, j)
+	case KindCorpus:
+		return e.execCorpus(ctx, j)
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrSpec, j.spec.Kind)
 }
@@ -117,4 +120,24 @@ func (e *Engine) execCampaign(ctx context.Context, j *job) (any, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+func (e *Engine) execCorpus(ctx context.Context, j *job) (any, error) {
+	cs := j.spec.Corpus
+	cen, err := corpus.New(corpus.Options{
+		NoDedup:  cs.NoDedup,
+		Parallel: cs.Parallel,
+		Expr:     cs.Expr,
+		Tel:      j.tel,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	src := corpus.NewSeeded(corpus.SeedOptions{
+		Designs: cs.Designs,
+		Seed:    cs.Seed,
+		Indices: cs.Indices,
+		Workers: cs.Workers,
+	})
+	return cen.Run(ctx, src)
 }

@@ -24,6 +24,9 @@ const (
 	KindFindLUT = "findlut"
 	// KindCampaign runs a randomized multi-scenario attack campaign.
 	KindCampaign = "campaign"
+	// KindCorpus runs a census-at-scale pass over a seeded design corpus
+	// through one shared scanner with content-addressed frame dedup.
+	KindCorpus = "corpus"
 )
 
 // Job states. A job moves queued → running → one of the terminal
@@ -85,6 +88,29 @@ type CampaignSpec struct {
 	Lanes    int   `json:"lanes,omitempty"`
 }
 
+// CorpusSpec parameterizes a corpus census job: a seeded design corpus
+// (corpus.SeedOptions) plus the census engine knobs. The fleet
+// coordinator shards one corpus submission into per-worker Indices
+// subsets, so routing and execution derive designs from the same
+// (seed, index) pairs.
+type CorpusSpec struct {
+	// Designs is the corpus size ([0, Designs) unless Indices narrows).
+	Designs int `json:"designs"`
+	// Seed is the master corpus seed; (Seed, index) fully determines
+	// each design.
+	Seed int64 `json:"seed,omitempty"`
+	// Indices selects an explicit design subset — the fleet's shard unit.
+	Indices []int `json:"indices,omitempty"`
+	// NoDedup disables the content-addressed frame memo.
+	NoDedup bool `json:"no_dedup,omitempty"`
+	// Parallel bounds the scan worker pool (0 = all CPUs); Workers the
+	// synthesis pipeline (0 = engine default).
+	Parallel int `json:"parallel,omitempty"`
+	Workers  int `json:"workers,omitempty"`
+	// Expr overrides the census target function ("" = the W-XOR target).
+	Expr string `json:"expr,omitempty"`
+}
+
 // JobSpec is the wire-format job submission.
 type JobSpec struct {
 	Kind string `json:"kind"`
@@ -107,12 +133,18 @@ type JobSpec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// Campaign parameterizes a campaign job.
 	Campaign *CampaignSpec `json:"campaign,omitempty"`
+	// Corpus parameterizes a corpus census job.
+	Corpus *CorpusSpec `json:"corpus,omitempty"`
 	// TimeoutMS bounds the job's execution once it starts running;
 	// time spent queued does not consume the budget.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-func (s JobSpec) validate() error {
+// Validate checks the spec without executing it. Exported because the
+// fleet coordinator's mirror API must reject exactly what the engine
+// would reject, with the same wrapped ErrSpec — one validator, one
+// error shape on both servers.
+func (s JobSpec) Validate() error {
 	switch s.Kind {
 	case KindAttack, KindCensus:
 	case KindFindLUT:
@@ -128,9 +160,28 @@ func (s JobSpec) validate() error {
 				return fmt.Errorf("%w: campaign.lanes: %w", ErrSpec, err)
 			}
 		}
+	case KindCorpus:
+		c := s.Corpus
+		if c == nil {
+			return fmt.Errorf("%w: corpus jobs need a corpus spec", ErrSpec)
+		}
+		if c.Designs < 1 && len(c.Indices) == 0 {
+			return fmt.Errorf("%w: corpus jobs need corpus.designs >= 1 or corpus.indices", ErrSpec)
+		}
+		for _, i := range c.Indices {
+			if i < 0 {
+				return fmt.Errorf("%w: corpus.indices must be non-negative, got %d", ErrSpec, i)
+			}
+			if c.Designs > 0 && i >= c.Designs {
+				return fmt.Errorf("%w: corpus index %d outside [0, %d)", ErrSpec, i, c.Designs)
+			}
+		}
+		if c.Parallel < 0 || c.Workers < 0 {
+			return fmt.Errorf("%w: corpus.parallel and corpus.workers must be non-negative", ErrSpec)
+		}
 	default:
-		return fmt.Errorf("%w: unknown kind %q (want %s|%s|%s|%s)",
-			ErrSpec, s.Kind, KindAttack, KindCensus, KindFindLUT, KindCampaign)
+		return fmt.Errorf("%w: unknown kind %q (want %s|%s|%s|%s|%s)",
+			ErrSpec, s.Kind, KindAttack, KindCensus, KindFindLUT, KindCampaign, KindCorpus)
 	}
 	if s.Lanes != 0 {
 		if err := core.ValidateLanes(s.Lanes); err != nil {

@@ -167,7 +167,7 @@ func (e *Engine) restoreTerminal(r store.Record, now time.Time) {
 // vanishing.
 func (e *Engine) requeueRecovered(r store.Record, now time.Time) bool {
 	var spec JobSpec
-	if r.Spec == nil || json.Unmarshal(r.Spec, &spec) != nil || spec.validate() != nil {
+	if r.Spec == nil || json.Unmarshal(r.Spec, &spec) != nil || spec.Validate() != nil {
 		done := make(chan struct{})
 		close(done)
 		j := &job{

@@ -279,7 +279,7 @@ func (e *Engine) closeObs() {
 // ErrQuotaExceeded, a closed engine ErrShuttingDown. On a durable
 // engine the queued record is persisted before the job id is exposed.
 func (e *Engine) Submit(spec JobSpec) (Status, error) {
-	if err := spec.validate(); err != nil {
+	if err := spec.Validate(); err != nil {
 		e.tel.Counter("service.jobs_invalid").Inc()
 		return Status{}, err
 	}

@@ -196,6 +196,7 @@ type options struct {
 	tel      *Telemetry
 	logf     func(string, ...any)
 	parallel int
+	noDedup  bool
 }
 
 func buildOptions(opts []Option) options {
@@ -223,9 +224,16 @@ func WithTelemetry(tel *Telemetry) Option { return func(o *options) { o.tel = te
 // WithLogf attaches a printf-style progress logger.
 func WithLogf(logf func(string, ...any)) Option { return func(o *options) { o.logf = logf } }
 
-// WithParallel bounds the FindLUTs scan worker pool (0 = all CPUs).
-// Attack entrypoints ignore it.
+// WithParallel bounds the FindLUTs and CensusCorpus scan worker pools
+// (0 = all CPUs). Attack entrypoints ignore it.
 func WithParallel(n int) Option { return func(o *options) { o.parallel = n } }
+
+// WithDedup toggles the content-addressed frame memo of CensusCorpus
+// (on by default): identical frame windows across — and within —
+// designs are scanned once and served from the memo after. The census
+// results are identical either way; only the work changes. Other
+// entrypoints ignore it.
+func WithDedup(on bool) Option { return func(o *options) { o.noDedup = !on } }
 
 // Attack executes the complete bitstream modification attack against
 // the victim: probe flash (decrypting via the side-channel oracle when
@@ -257,20 +265,6 @@ func newAttack(ctx context.Context, v *Victim, iv IV, o options) (*core.Attack, 
 	return atk, nil
 }
 
-// RunAttack executes the attack at the full sweep width.
-//
-// Deprecated: use Attack with WithLogf.
-func RunAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
-	return Attack(context.Background(), v, iv, WithLogf(logf))
-}
-
-// RunAttackLanes is RunAttack with an explicit candidate-sweep width.
-//
-// Deprecated: use Attack with WithLanes.
-func RunAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
-	return Attack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes))
-}
-
 // Telemetry is the unified observability handle of an attack run: a
 // phase-span tracer, a metrics registry backing the report counters, and
 // an optional structured logger. A nil *Telemetry disables everything at
@@ -292,14 +286,6 @@ func WriteTrace(w io.Writer, tel *Telemetry) error {
 	return obs.WriteNDJSON(w, tel.Tracer, tel.Metrics)
 }
 
-// RunAttackTraced is RunAttackLanes with a telemetry handle attached.
-//
-// Deprecated: use Attack with WithLanes and WithTelemetry.
-func RunAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
-	return Attack(context.Background(), v, iv,
-		WithLogf(logf), WithLanes(lanes), WithTelemetry(tel))
-}
-
 // CensusAttack executes the catalogue-free variant: target LUT classes
 // are discovered from the extracted-LUT census by their XOR structure
 // and all fault tables are derived from the class functions — no
@@ -312,30 +298,6 @@ func CensusAttack(ctx context.Context, v *Victim, iv IV, opts ...Option) (*Repor
 		return nil, err
 	}
 	return atk.RunCensusGuided()
-}
-
-// RunCensusAttack executes the census attack at the full sweep width.
-//
-// Deprecated: use CensusAttack with WithLogf.
-func RunCensusAttack(v *Victim, iv IV, logf func(string, ...any)) (*Report, error) {
-	return CensusAttack(context.Background(), v, iv, WithLogf(logf))
-}
-
-// RunCensusAttackLanes is RunCensusAttack with an explicit
-// candidate-sweep width.
-//
-// Deprecated: use CensusAttack with WithLanes.
-func RunCensusAttackLanes(v *Victim, iv IV, logf func(string, ...any), lanes int) (*Report, error) {
-	return CensusAttack(context.Background(), v, iv, WithLogf(logf), WithLanes(lanes))
-}
-
-// RunCensusAttackTraced is RunCensusAttackLanes with a telemetry handle
-// attached.
-//
-// Deprecated: use CensusAttack with WithLanes and WithTelemetry.
-func RunCensusAttackTraced(v *Victim, iv IV, logf func(string, ...any), lanes int, tel *Telemetry) (*Report, error) {
-	return CensusAttack(context.Background(), v, iv,
-		WithLogf(logf), WithLanes(lanes), WithTelemetry(tel))
 }
 
 // CampaignConfig parameterizes a randomized attack campaign: how many
@@ -420,31 +382,6 @@ func FindLUTs(ctx context.Context, bits []byte, expr string, opts ...Option) ([]
 		out[i] = m.Index
 	}
 	return out, res.Stats, nil
-}
-
-// FindFunction searches a raw bitstream for LUTs implementing expr.
-//
-// Deprecated: use FindLUTs.
-func FindFunction(bits []byte, expr string) ([]int, error) {
-	out, _, err := FindLUTs(context.Background(), bits, expr)
-	return out, err
-}
-
-// FindFunctionStats is FindFunction with an explicit worker count
-// (0 = all CPUs) and the scan-engine counters of the pass.
-//
-// Deprecated: use FindLUTs with WithParallel.
-func FindFunctionStats(bits []byte, expr string, parallel int) ([]int, ScanStats, error) {
-	return FindLUTs(context.Background(), bits, expr, WithParallel(parallel))
-}
-
-// FindFunctionTraced is FindFunctionStats with a telemetry handle
-// attached to the scan engine (scan.pass/compile/walk spans). tel may be
-// nil.
-//
-// Deprecated: use FindLUTs with WithParallel and WithTelemetry.
-func FindFunctionTraced(bits []byte, expr string, parallel int, tel *Telemetry) ([]int, ScanStats, error) {
-	return FindLUTs(context.Background(), bits, expr, WithParallel(parallel), WithTelemetry(tel))
 }
 
 // DualXORHits runs the Section VII-B search over [lo, hi) byte positions

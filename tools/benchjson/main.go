@@ -20,6 +20,12 @@
 //	  go run ./tools/benchjson -baseline BENCH_PR6.json \
 //	    -name BenchmarkClockBatch/lanes-64 -metric ns/lane-cycle -max-ratio 1.10
 //
+// For throughput metrics (designs/sec, MB/s) the gate direction flips:
+// -min-ratio fails the run if current/baseline falls BELOW the bound,
+// and duplicate entries collapse to their largest value instead of the
+// smallest. Passing only -min-ratio disables the default -max-ratio
+// time gate; passing both runs both.
+//
 // Names are matched with any trailing -N GOMAXPROCS suffix stripped,
 // and duplicate entries (from -count) collapse to their best value, so
 // the gate measures capability, not scheduler noise.
@@ -135,10 +141,13 @@ func matchesName(entry, want string) bool {
 	return true
 }
 
-// bestMetric returns the smallest value of metric across every entry of
-// doc matching name (duplicates come from -count runs; smaller is
-// better for every time-per-work unit we gate on).
-func bestMetric(doc *Doc, name, metric string) (float64, bool) {
+// bestMetric returns the best value of metric across every entry of doc
+// matching name (duplicates come from -count runs). "Best" depends on
+// the metric's direction: the smallest value for time-per-work units
+// (higherBetter false), the largest for throughput units like
+// designs/sec (higherBetter true) — either way the gate measures
+// capability, not scheduler noise.
+func bestMetric(doc *Doc, name, metric string, higherBetter bool) (float64, bool) {
 	best, found := 0.0, false
 	for _, r := range doc.Results {
 		if !matchesName(r.Name, name) {
@@ -148,34 +157,64 @@ func bestMetric(doc *Doc, name, metric string) (float64, bool) {
 		if !ok {
 			continue
 		}
-		if !found || v < best {
+		if !found || (higherBetter && v > best) || (!higherBetter && v < best) {
 			best, found = v, true
 		}
 	}
 	return best, found
 }
 
-// checkRegression gates doc against the baseline document: it returns
-// an error if the benchmark is missing on either side or the
-// current/baseline ratio exceeds maxRatio.
-func checkRegression(doc, baseline *Doc, name, metric string, maxRatio float64) error {
-	cur, ok := bestMetric(doc, name, metric)
+// gateRatio computes current/baseline for one gate direction, erroring
+// if the benchmark is missing on either side.
+func gateRatio(doc, baseline *Doc, name, metric string, higherBetter bool) (cur, base float64, err error) {
+	cur, ok := bestMetric(doc, name, metric, higherBetter)
 	if !ok {
-		return fmt.Errorf("%s %s missing from current run", name, metric)
+		return 0, 0, fmt.Errorf("%s %s missing from current run", name, metric)
 	}
-	base, ok := bestMetric(baseline, name, metric)
+	base, ok = bestMetric(baseline, name, metric, higherBetter)
 	if !ok {
-		return fmt.Errorf("%s %s missing from baseline", name, metric)
+		return 0, 0, fmt.Errorf("%s %s missing from baseline", name, metric)
 	}
 	if base <= 0 {
-		return fmt.Errorf("%s %s baseline is %v, cannot ratio", name, metric, base)
+		return 0, 0, fmt.Errorf("%s %s baseline is %v, cannot ratio", name, metric, base)
 	}
-	ratio := cur / base
-	fmt.Fprintf(os.Stderr, "benchjson: %s %s: current %.4g vs baseline %.4g (ratio %.3f, max %.3f)\n",
-		name, metric, cur, base, ratio, maxRatio)
-	if ratio > maxRatio {
-		return fmt.Errorf("%s %s regressed: %.4g vs baseline %.4g exceeds max ratio %.3f",
-			name, metric, cur, base, maxRatio)
+	return cur, base, nil
+}
+
+// checkRegression gates doc against the baseline document. maxRatio > 0
+// gates a lower-is-better metric: fail if current/baseline exceeds it.
+// minRatio > 0 gates a higher-is-better metric (throughput): fail if
+// current/baseline falls below it. Either may be 0 (gate off), both may
+// run.
+func checkRegression(doc, baseline *Doc, name, metric string, maxRatio, minRatio float64) error {
+	if maxRatio <= 0 && minRatio <= 0 {
+		return fmt.Errorf("%s %s: no gate given (-max-ratio or -min-ratio)", name, metric)
+	}
+	if maxRatio > 0 {
+		cur, base, err := gateRatio(doc, baseline, name, metric, false)
+		if err != nil {
+			return err
+		}
+		ratio := cur / base
+		fmt.Fprintf(os.Stderr, "benchjson: %s %s: current %.4g vs baseline %.4g (ratio %.3f, max %.3f)\n",
+			name, metric, cur, base, ratio, maxRatio)
+		if ratio > maxRatio {
+			return fmt.Errorf("%s %s regressed: %.4g vs baseline %.4g exceeds max ratio %.3f",
+				name, metric, cur, base, maxRatio)
+		}
+	}
+	if minRatio > 0 {
+		cur, base, err := gateRatio(doc, baseline, name, metric, true)
+		if err != nil {
+			return err
+		}
+		ratio := cur / base
+		fmt.Fprintf(os.Stderr, "benchjson: %s %s: current %.4g vs baseline %.4g (ratio %.3f, min %.3f)\n",
+			name, metric, cur, base, ratio, minRatio)
+		if ratio < minRatio {
+			return fmt.Errorf("%s %s regressed: %.4g vs baseline %.4g falls below min ratio %.3f",
+				name, metric, cur, base, minRatio)
+		}
 	}
 	return nil
 }
@@ -185,8 +224,21 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON document to gate against")
 	name := flag.String("name", "", "benchmark name to check against -baseline")
 	metric := flag.String("metric", "ns/op", "metric unit compared against -baseline")
-	maxRatio := flag.Float64("max-ratio", 1.10, "largest tolerated current/baseline ratio")
+	maxRatio := flag.Float64("max-ratio", 1.10, "largest tolerated current/baseline ratio (lower-is-better metrics)")
+	minRatio := flag.Float64("min-ratio", 0, "smallest tolerated current/baseline ratio (throughput metrics; 0 = off)")
 	flag.Parse()
+	// -max-ratio has a default, so a throughput gate that only says
+	// -min-ratio must not also trip the time gate: the max gate runs only
+	// when no min gate is asked for, or when -max-ratio was explicit.
+	maxSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "max-ratio" {
+			maxSet = true
+		}
+	})
+	if *minRatio > 0 && !maxSet {
+		*maxRatio = 0
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -228,7 +280,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		if err := checkRegression(doc, &base, *name, *metric, *maxRatio); err != nil {
+		if err := checkRegression(doc, &base, *name, *metric, *maxRatio, *minRatio); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

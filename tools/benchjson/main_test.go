@@ -71,18 +71,51 @@ func TestCheckRegression(t *testing.T) {
 	base := mk("BenchmarkClockBatch/lanes-64", 86.32)
 	// Duplicates collapse to the best run, -N suffixes are ignored.
 	cur := mk("BenchmarkClockBatch/lanes-64-8", 95.0, 88.1)
-	if err := checkRegression(cur, base, "BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10); err != nil {
+	if err := checkRegression(cur, base, "BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10, 0); err != nil {
 		t.Fatalf("within-budget run rejected: %v", err)
 	}
 	if err := checkRegression(mk("BenchmarkClockBatch/lanes-64", 99.0), base,
-		"BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10); err == nil {
+		"BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10, 0); err == nil {
 		t.Fatal("14%% regression accepted")
 	}
-	if err := checkRegression(cur, base, "BenchmarkClockBatch/lanes-64", "ns/op", 1.10); err == nil {
+	if err := checkRegression(cur, base, "BenchmarkClockBatch/lanes-64", "ns/op", 1.10, 0); err == nil {
 		t.Fatal("missing metric accepted")
 	}
-	if err := checkRegression(cur, &Doc{}, "BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10); err == nil {
+	if err := checkRegression(cur, &Doc{}, "BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 1.10, 0); err == nil {
 		t.Fatal("missing baseline entry accepted")
+	}
+	if err := checkRegression(cur, base, "BenchmarkClockBatch/lanes-64", "ns/lane-cycle", 0, 0); err == nil {
+		t.Fatal("gate-less invocation accepted")
+	}
+}
+
+func TestCheckThroughputGate(t *testing.T) {
+	mk := func(name string, vals ...float64) *Doc {
+		d := &Doc{}
+		for _, v := range vals {
+			d.Results = append(d.Results, Result{
+				Name: name, Runs: 1, Metrics: map[string]float64{"designs/sec": v},
+			})
+		}
+		return d
+	}
+	const name = "BenchmarkCorpusCensus/dedup-on"
+	base := mk(name, 66.9)
+	// Duplicates collapse to the LARGEST run for a throughput gate: the
+	// 70.0 outlier represents capability, the 48.0 is scheduler noise.
+	cur := mk(name+"-8", 48.0, 70.0)
+	if err := checkRegression(cur, base, name, "designs/sec", 0, 0.70); err != nil {
+		t.Fatalf("within-budget throughput rejected: %v", err)
+	}
+	if err := checkRegression(mk(name, 40.0), base, name, "designs/sec", 0, 0.70); err == nil {
+		t.Fatal("40%% throughput regression accepted")
+	}
+	if err := checkRegression(cur, &Doc{}, name, "designs/sec", 0, 0.70); err == nil {
+		t.Fatal("missing baseline entry accepted")
+	}
+	// Both gates may run together; the min gate must still fail.
+	if err := checkRegression(mk(name, 40.0), base, name, "designs/sec", 2.0, 0.70); err == nil {
+		t.Fatal("min gate skipped when max gate also set")
 	}
 }
 
